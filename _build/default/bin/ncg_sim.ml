@@ -1,0 +1,178 @@
+(* ncg_sim: run the paper's empirical studies at any scale.
+
+     ncg_sim fig7  --trials 10000 --ns 10,20,...,100   (paper scale)
+     ncg_sim fig13 --trials 50 --out fig13.dat         (gnuplot data)
+
+   Subcommands map one-to-one to the evaluation figures; see DESIGN.md. *)
+
+open Cmdliner
+open Ncg_game
+open Ncg_experiments
+
+let parse_ns s =
+  List.map
+    (fun part ->
+      match int_of_string_opt (String.trim part) with
+      | Some n when n >= 2 -> n
+      | Some _ | None -> failwith ("bad n: " ^ part))
+    (String.split_on_char ',' s)
+
+let ns_term =
+  let doc = "Comma-separated agent counts, e.g. 10,20,30." in
+  Arg.(value & opt string "10,20,30,40,50" & info [ "ns" ] ~doc)
+
+let trials_term =
+  let doc = "Trials per configuration (paper: 10000 for ASG, 5000 for GBG)." in
+  Arg.(value & opt int 20 & info [ "trials" ] ~doc)
+
+let seed_term =
+  let doc = "Deterministic RNG seed." in
+  Arg.(value & opt int 2013 & info [ "seed" ] ~doc)
+
+let domains_term =
+  let doc = "Worker domains for parallel trials." in
+  Arg.(value & opt int 1 & info [ "domains" ] ~doc)
+
+let out_term =
+  let doc = "Also write gnuplot-ready data to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "out" ] ~docv:"FILE" ~doc)
+
+let value_term =
+  let doc = "Which statistic to tabulate: avg or max." in
+  let stat = Arg.enum [ ("avg", `Avg); ("max", `Max) ] in
+  Arg.(value & opt stat `Avg & info [ "value" ] ~doc)
+
+let emit out value curves =
+  print_string (Series.to_table ~value curves);
+  Printf.printf "max steps / n over all runs: %.2f\n" (Series.max_over curves);
+  match out with
+  | None -> ()
+  | Some path ->
+      Series.write_gnuplot path ~value curves;
+      Printf.printf "wrote %s\n" path
+
+let dist_of = function `Sum -> Model.Sum | `Max -> Model.Max
+
+let asg_cmd name dist_sel figure =
+  let run ns trials seed domains out value =
+    let p =
+      { (Asg_budget.default (dist_of dist_sel)) with
+        Asg_budget.ns = parse_ns ns; trials; seed; domains }
+    in
+    emit out value (Asg_budget.sweep p)
+  in
+  let doc =
+    Printf.sprintf "Reproduce %s: bounded-budget ASG convergence." figure
+  in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(
+      const run $ ns_term $ trials_term $ seed_term $ domains_term $ out_term
+      $ value_term)
+
+let gbg_cmd name dist_sel figure =
+  let run ns trials seed domains out value =
+    let p =
+      { (Gbg_sweep.default (dist_of dist_sel)) with
+        Gbg_sweep.ns = parse_ns ns; trials; seed; domains }
+    in
+    emit out value (Gbg_sweep.sweep p)
+  in
+  let doc = Printf.sprintf "Reproduce %s: GBG convergence sweep." figure in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(
+      const run $ ns_term $ trials_term $ seed_term $ domains_term $ out_term
+      $ value_term)
+
+let topo_cmd name dist_sel figure =
+  let run ns trials seed domains out value =
+    let p =
+      { (Topology.default (dist_of dist_sel)) with
+        Topology.ns = parse_ns ns; trials; seed; domains }
+    in
+    emit out value (Topology.sweep p)
+  in
+  let doc =
+    Printf.sprintf "Reproduce %s: GBG starting-topology comparison." figure
+  in
+  Cmd.v (Cmd.info name ~doc)
+    Term.(
+      const run $ ns_term $ trials_term $ seed_term $ domains_term $ out_term
+      $ value_term)
+
+(* Empirical price of anarchy of the converged networks (Sec. 1.3's
+   motivation: selfish play should end near the social optimum). *)
+let poa_cmd =
+  let run ns trials seed =
+    Printf.printf "%6s %14s
+" "n" "worst ratio";
+    List.iter
+      (fun n ->
+        let model =
+          Model.make
+            ~alpha:(Ncg_rational.Q.make n 4)
+            Model.Gbg Model.Sum n
+        in
+        let worst =
+          Ncg_core.Efficiency.worst_stable_ratio ~trials ~seed model
+            (fun rng -> Ncg_graph.Gen.random_m_edges rng n (2 * n))
+        in
+        Printf.printf "%6d %14.3f
+" n worst)
+      (parse_ns ns)
+  in
+  let doc =
+    "Empirical price of anarchy: worst social-cost ratio of converged      SUM-GBG networks vs the social optimum."
+  in
+  Cmd.v (Cmd.info "poa" ~doc)
+    Term.(const run $ ns_term $ trials_term $ seed_term)
+
+(* Exhaustive classification of a named gadget instance. *)
+let classify_cmd =
+  let name_term =
+    let doc = "Instance name (see `ncg_verify` for the list)." in
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"NAME" ~doc)
+  in
+  let states_term =
+    let doc = "State budget for the exhaustive exploration." in
+    Arg.(value & opt int 50_000 & info [ "max-states" ] ~doc)
+  in
+  let run name max_states =
+    match Ncg_instances.Catalog.find name with
+    | None ->
+        Printf.eprintf "unknown instance %s; known: %s
+" name
+          (String.concat ", " (Ncg_instances.Catalog.names ()));
+        exit 2
+    | Some inst ->
+        let r =
+          Ncg_search.Classify.classify ~max_states
+            inst.Ncg_instances.Instance.model
+            inst.Ncg_instances.Instance.initial
+        in
+        Format.printf "%s: %a@." name Ncg_search.Classify.pp r
+  in
+  let doc =
+    "Classify a gadget instance (finite improvement / BR-weakly-acyclic /      weakly-acyclic) by exhaustive state-space exploration."
+  in
+  Cmd.v (Cmd.info "classify" ~doc)
+    Term.(const run $ name_term $ states_term)
+
+let () =
+  let info =
+    Cmd.info "ncg_sim" ~version:"1.0"
+      ~doc:"Empirical studies of network creation game dynamics"
+  in
+  let group =
+    Cmd.group info
+      [
+        asg_cmd "fig7" `Sum "Figure 7 (SUM-ASG)";
+        asg_cmd "fig8" `Max "Figure 8 (MAX-ASG)";
+        gbg_cmd "fig11" `Sum "Figure 11 (SUM-GBG)";
+        topo_cmd "fig12" `Sum "Figure 12 (SUM-GBG topologies)";
+        gbg_cmd "fig13" `Max "Figure 13 (MAX-GBG)";
+        topo_cmd "fig14" `Max "Figure 14 (MAX-GBG topologies)";
+        poa_cmd;
+        classify_cmd;
+      ]
+  in
+  exit (Cmd.eval group)

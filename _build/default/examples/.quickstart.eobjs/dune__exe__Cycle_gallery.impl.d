@@ -1,0 +1,1 @@
+examples/cycle_gallery.ml: Cost Format Gen Graph List Model Move Ncg_game Ncg_graph Ncg_instances Ncg_search Printf Response Statespace

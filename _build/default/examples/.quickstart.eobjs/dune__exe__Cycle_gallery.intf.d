@@ -1,0 +1,1 @@
+examples/cycle_gallery.mli:

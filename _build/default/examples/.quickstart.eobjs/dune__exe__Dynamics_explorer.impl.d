@@ -1,0 +1,1 @@
+examples/dynamics_explorer.ml: Agents Array Cost Engine Format Gen Graph List Model Move Ncg_core Ncg_game Ncg_graph Ncg_rational Paths Policy Printf Random String Theory Trajectory

@@ -1,0 +1,1 @@
+examples/dynamics_explorer.mli:

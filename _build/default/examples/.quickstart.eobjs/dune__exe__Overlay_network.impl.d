@@ -1,0 +1,1 @@
+examples/overlay_network.ml: Agents Cost Engine Format Gen Graph Model Ncg_core Ncg_game Ncg_graph Ncg_rational Paths Policy Printf Random Response Trajectory

@@ -1,0 +1,1 @@
+examples/policy_ablation.ml: Engine Gen List Model Ncg_core Ncg_experiments Ncg_game Ncg_graph Policy Printf Runner Stats

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Cost Dot Engine Gen List Model Move Ncg_core Ncg_game Ncg_graph Paths Policy Printf Response String Theory

@@ -1,0 +1,77 @@
+(* Dynamics explorer: watch one Greedy-Buy-Game run in detail.
+
+   Reproduces the Section 4.2.2 narrative — a deletion phase, then a swap
+   phase, then a cleanup phase — and shows how the sorted cost vector and
+   the social cost evolve along the trajectory.
+
+     dune exec examples/dynamics_explorer.exe *)
+
+open Ncg_graph
+open Ncg_game
+open Ncg_core
+module Q = Ncg_rational.Q
+
+let () =
+  let n = 30 in
+  let rng = Random.State.make [| 31337 |] in
+  let alpha = Q.make n 4 in
+  let model = Model.make ~alpha Model.Gbg Model.Sum n in
+  let initial = Gen.random_m_edges rng n (4 * n) in
+
+  let cfg =
+    Engine.config ~policy:Policy.Random_unhappy
+      ~tie_break:Engine.Prefer_deletion model
+  in
+  let result = Engine.run ~rng cfg initial in
+  Printf.printf "SUM-GBG, n=%d, m0=%d, alpha=%s: %d steps\n\n" n
+    (Graph.m initial) (Q.to_string alpha) result.Engine.steps;
+
+  (* Replay the history, sampling the state every few steps. *)
+  let g = Graph.copy initial in
+  let social g =
+    Cost.to_float ~unit_price:(Model.unit_price model)
+      (Agents.social_cost model g)
+  in
+  Printf.printf "%6s %-22s %6s %10s %9s\n" "step" "move" "edges" "social"
+    "diameter";
+  let show i move =
+    Printf.printf "%6d %-22s %6d %10.0f %9s\n" i
+      (match move with Some m -> Move.to_string m | None -> "(start)")
+      (Graph.m g) (social g)
+      (match Paths.diameter g with
+      | Some d -> string_of_int d
+      | None -> "inf")
+  in
+  show 0 None;
+  List.iteri
+    (fun i (s : Engine.step) ->
+      ignore (Move.apply g s.Engine.move);
+      if (i + 1) mod (max 1 (result.Engine.steps / 15)) = 0 then
+        show (i + 1) (Some s.Engine.move))
+    result.Engine.history;
+
+  print_newline ();
+  Printf.printf "operation mix over thirds of the run:\n";
+  Array.iteri
+    (fun i c ->
+      Printf.printf "  phase %d: %s%s\n" (i + 1)
+        (Format.asprintf "%a" Trajectory.pp_op_counts c)
+        (match Trajectory.dominant c with
+        | Some Move.Kdelete -> "   <- deletion phase"
+        | Some Move.Kswap -> "   <- swap phase"
+        | Some Move.Kbuy -> "   <- buy phase"
+        | Some Move.Kjump | None -> ""))
+    (Trajectory.phases 3 result.Engine.history);
+
+  print_newline ();
+  let v = Agents.sorted_cost_vector model result.Engine.final in
+  Printf.printf "final sorted cost vector (top 5): %s\n"
+    (String.concat " "
+       (List.filteri (fun i _ -> i < 5)
+          (List.map Cost.to_string (Array.to_list v))));
+  Printf.printf "final shape: %s\n"
+    (match Theory.tree_shape result.Engine.final with
+    | Theory.Star -> "star (the typical stable GBG network)"
+    | Theory.Double_star -> "double star"
+    | Theory.Other_tree -> "tree"
+    | Theory.Not_a_tree -> "non-tree")

@@ -1,0 +1,59 @@
+(* Policy ablation: how much does the move policy matter?
+
+   The paper's mechanism-design angle (Sec. 1.1) treats the move policy as
+   the only coordination lever: it picks WHO moves, never WHAT they play.
+   This example fixes one family of initial networks and varies the policy
+   and the tie-breaking rule, reproducing the paper's two findings in
+   miniature: max-cost clearly beats random in the SUM version, and the
+   two are nearly indistinguishable in the MAX version.
+
+     dune exec examples/policy_ablation.exe *)
+
+open Ncg_graph
+open Ncg_game
+open Ncg_core
+open Ncg_experiments
+
+let policies =
+  [ ("max cost", Policy.Max_cost);
+    ("random", Policy.Random_unhappy);
+    ("round robin", Policy.Round_robin) ]
+
+let tie_breaks =
+  [ ("uniform ties", Engine.Uniform);
+    ("prefer deletion", Engine.Prefer_deletion);
+    ("first candidate", Engine.First_candidate) ]
+
+let run_family ~dist ~label =
+  Printf.printf "\n%s, n = 40, budget k = 2, 15 trials per cell\n" label;
+  Printf.printf "  %-14s" "";
+  List.iter (fun (tname, _) -> Printf.printf "%18s" tname) tie_breaks;
+  print_newline ();
+  List.iter
+    (fun (pname, policy) ->
+      Printf.printf "  %-14s" pname;
+      List.iter
+        (fun (_, tie_break) ->
+          let model = Model.make Model.Asg dist 40 in
+          let spec =
+            Runner.spec ~policy ~tie_break model (fun rng ->
+                Gen.random_budget_network rng 40 2)
+          in
+          let s = Runner.run ~trials:15 spec in
+          Printf.printf "%11.1f (%3d)" s.Stats.avg_steps s.Stats.max_steps)
+        tie_breaks;
+      print_newline ())
+    policies
+
+let () =
+  print_endline
+    "Average steps to convergence (max in parentheses) per policy and \
+     tie-break.";
+  run_family ~dist:Model.Sum ~label:"SUM-ASG";
+  run_family ~dist:Model.Max ~label:"MAX-ASG";
+  print_newline ();
+  print_endline
+    "Expected per the paper: in the SUM version max-cost beats random by a\n\
+     wide margin; in the MAX version the policies nearly coincide because\n\
+     most agents share the maximum cost.  Tie-breaking barely matters for\n\
+     swap-only games (all ties are swaps)."

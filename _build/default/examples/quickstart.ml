@@ -1,0 +1,54 @@
+(* Quickstart: the smallest end-to-end use of the library.
+
+   Build a network, pick a game, let selfish agents play improving moves
+   until nobody wants to change anything, inspect the result.
+
+     dune exec examples/quickstart.exe *)
+
+open Ncg_graph
+open Ncg_game
+open Ncg_core
+
+let () =
+  (* Ten agents on a path: the worst-connected starting point. *)
+  let initial = Gen.path 10 in
+
+  (* The MAX Swap Game: agents swap incident edges to reduce their
+     eccentricity (Alon et al.'s Basic Network Creation Game). *)
+  let model = Model.make Model.Sg Model.Max 10 in
+
+  (* Who is unhappy at the start? *)
+  let unhappy = Response.unhappy_agents model initial in
+  Printf.printf "initially unhappy agents: %s\n"
+    (String.concat ", " (List.map string_of_int unhappy));
+
+  (* Run the sequential-move process under the max cost policy: the
+     highest-cost unhappy agent performs a best possible swap each step. *)
+  let cfg = Engine.config ~policy:Policy.Max_cost model in
+  let result = Engine.run cfg initial in
+
+  Printf.printf "converged after %d moves\n" result.Engine.steps;
+  List.iter
+    (fun (s : Engine.step) ->
+      Printf.printf "  %2d. %-18s (%s -> %s)\n" (s.Engine.index + 1)
+        (Move.to_string s.Engine.move)
+        (Cost.to_string s.Engine.cost_before)
+        (Cost.to_string s.Engine.cost_after))
+    result.Engine.history;
+
+  (* Theory says stable MAX-SG trees are stars or double stars. *)
+  let final = result.Engine.final in
+  Printf.printf "final network: %s, diameter %s, stable: %b\n"
+    (match Theory.tree_shape final with
+    | Theory.Star -> "a star"
+    | Theory.Double_star -> "a double star"
+    | Theory.Other_tree -> "some other tree"
+    | Theory.Not_a_tree -> "not a tree")
+    (match Paths.diameter final with
+    | Some d -> string_of_int d
+    | None -> "inf")
+    (Response.is_stable model final);
+
+  (* Export the result for graphviz. *)
+  print_endline "\nDOT output of the stable network:";
+  print_string (Dot.to_dot ~name:"stable" final)

@@ -1,0 +1,1 @@
+lib/core/efficiency.ml: Agents Cost Engine Model Ncg_rational Random

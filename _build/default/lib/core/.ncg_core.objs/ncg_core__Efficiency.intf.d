@@ -1,0 +1,1 @@
+lib/core/efficiency.mli: Graph Model Ncg_rational Random

@@ -1,0 +1,1 @@
+lib/core/engine.ml: Canonical Cost Graph Hashtbl List Model Move Paths Policy Random Response

@@ -1,0 +1,1 @@
+lib/core/policy.ml: Agents Array Cost Graph List Model Random Response

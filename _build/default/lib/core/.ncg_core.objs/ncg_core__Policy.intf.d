@@ -1,0 +1,1 @@
+lib/core/policy.mli: Graph Model Paths Random

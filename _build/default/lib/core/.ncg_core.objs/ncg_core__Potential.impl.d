@@ -1,0 +1,1 @@
+lib/core/potential.ml: Agents Cost Model Move Paths

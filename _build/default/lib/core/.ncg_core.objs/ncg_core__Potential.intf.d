@@ -1,0 +1,1 @@
+lib/core/potential.mli: Cost Graph Model Move

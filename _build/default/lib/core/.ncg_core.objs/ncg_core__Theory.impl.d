@@ -1,0 +1,1 @@
+lib/core/theory.ml: Array Cost Graph List Model Move Paths Response Tree

@@ -1,0 +1,1 @@
+lib/core/trajectory.ml: Array Engine Format List Move

@@ -1,0 +1,1 @@
+lib/core/trajectory.mli: Engine Format Move

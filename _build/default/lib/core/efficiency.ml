@@ -1,0 +1,68 @@
+module Q = Ncg_rational.Q
+
+let social_cost model g =
+  Cost.to_q ~unit_price:(Model.unit_price model) (Agents.social_cost model g)
+
+(* Social distance-cost of a star on n vertices: the center is at distance 1
+   from everyone; leaves are at 1 + (n-2)*2.  MAX version: center 1, leaves
+   2. *)
+let star_social_cost model =
+  let n = Model.n model in
+  if n <= 1 then Q.zero
+  else
+    let edge_total =
+      (* n-1 edges; in the bilateral game both sides pay half, totalling
+         the same alpha per edge; swap games pay nothing. *)
+      match model.Model.game with
+      | Model.Sg | Model.Asg -> Q.zero
+      | Model.Gbg | Model.Bg | Model.Bilateral ->
+          Q.mul_int model.Model.alpha (n - 1)
+    in
+    let dist_total =
+      match model.Model.dist_mode with
+      | Model.Sum -> (n - 1) + ((n - 1) * (1 + (2 * (n - 2))))
+      | Model.Max -> 1 + ((n - 1) * 2)
+    in
+    Q.add edge_total (Q.of_int dist_total)
+
+let clique_social_cost model =
+  let n = Model.n model in
+  if n <= 1 then Q.zero
+  else
+    let edges = n * (n - 1) / 2 in
+    let edge_total =
+      match model.Model.game with
+      | Model.Sg | Model.Asg -> Q.zero
+      | Model.Gbg | Model.Bg | Model.Bilateral ->
+          Q.mul_int model.Model.alpha edges
+    in
+    let dist_total =
+      match model.Model.dist_mode with
+      | Model.Sum -> n * (n - 1)
+      | Model.Max -> n
+    in
+    Q.add edge_total (Q.of_int dist_total)
+
+let optimum_social_cost model =
+  Q.min (star_social_cost model) (clique_social_cost model)
+
+let efficiency_ratio model g =
+  match social_cost model g with
+  | None -> None
+  | Some c ->
+      let opt = optimum_social_cost model in
+      if Q.sign opt = 0 then Some 1.0
+      else Some (Q.to_float (Q.div c opt))
+
+let worst_stable_ratio ?(trials = 20) ?(seed = 2013) model generate =
+  let worst = ref 1.0 in
+  for trial = 0 to trials - 1 do
+    let rng = Random.State.make [| seed; trial |] in
+    let g = generate rng in
+    let r = Engine.run ~rng (Engine.config ~record_history:false model) g in
+    if Engine.converged r then
+      match efficiency_ratio model r.Engine.final with
+      | Some ratio when ratio > !worst -> worst := ratio
+      | Some _ | None -> ()
+  done;
+  !worst

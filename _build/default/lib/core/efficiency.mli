@@ -1,0 +1,39 @@
+(** Social efficiency of networks and equilibria.
+
+    The paper's motivation (Sec. 1) is that network creation games have low
+    price of anarchy, so the stable networks that distributed local search
+    finds are nearly socially optimal.  This module provides the exact
+    social-optimum references for the buy games (Fabrikant et al.: the
+    optimum is a clique for [alpha <= 2] and a star for [alpha >= 2]) and
+    efficiency ratios of concrete networks, so experiments can report how
+    good the reached equilibria actually are. *)
+
+val social_cost : Model.t -> Graph.t -> Ncg_rational.Q.t option
+(** Exact numeric social cost, [None] when the network is disconnected. *)
+
+val star_social_cost : Model.t -> Ncg_rational.Q.t
+(** Social cost of a star on [Model.n] agents under the model's edge
+    accounting. *)
+
+val clique_social_cost : Model.t -> Ncg_rational.Q.t
+
+val optimum_social_cost : Model.t -> Ncg_rational.Q.t
+(** The buy-game social optimum: [min(star, clique)] — exact for
+    [alpha <= 2] or [alpha >= 2] (Fabrikant et al., Lemma 1); between the
+    two thresholds it is still a valid upper bound on the optimum used as
+    the efficiency reference.  For the swap games (no edge cost) the same
+    expression degenerates to the distance-optimal clique; prefer
+    {!star_social_cost} as the reference on trees. *)
+
+val efficiency_ratio : Model.t -> Graph.t -> float option
+(** [social_cost g / optimum_social_cost] — 1.0 means socially optimal;
+    [None] when disconnected.  The price of anarchy of the game is the
+    supremum of this ratio over stable networks. *)
+
+val worst_stable_ratio :
+  ?trials:int -> ?seed:int -> Model.t -> (Random.State.t -> Graph.t) ->
+  float
+(** Empirical lower bound on the price of anarchy: run the dynamics from
+    [trials] random initial networks (max-cost policy, best responses) and
+    return the worst efficiency ratio among the stable networks reached.
+    Non-converging runs are skipped. *)

@@ -1,0 +1,129 @@
+type move_rule = Best_response | Any_improving
+
+type tie_break = Uniform | Prefer_deletion | First_candidate
+
+type config = {
+  model : Model.t;
+  policy : Policy.t;
+  move_rule : move_rule;
+  tie_break : tie_break;
+  max_steps : int;
+  detect_cycles : bool;
+  record_history : bool;
+}
+
+let config ?(policy = Policy.Max_cost) ?(move_rule = Best_response)
+    ?(tie_break = Uniform) ?max_steps ?(detect_cycles = false)
+    ?(record_history = true) model =
+  let max_steps =
+    match max_steps with
+    | Some s -> s
+    | None -> (100 * Model.n model) + 1000
+  in
+  { model; policy; move_rule; tie_break; max_steps; detect_cycles;
+    record_history }
+
+type step = {
+  index : int;
+  move : Move.t;
+  effect : Move.kind;
+  cost_before : Cost.t;
+  cost_after : Cost.t;
+}
+
+type stop_reason =
+  | Converged
+  | Cycle_detected of { first_visit : int; period : int }
+  | Step_limit
+
+type result = {
+  reason : stop_reason;
+  steps : int;
+  history : step list;
+  final : Graph.t;
+}
+
+let kind_rank = function
+  | Move.Kdelete -> 0
+  | Move.Kswap -> 1
+  | Move.Kbuy -> 2
+  | Move.Kjump -> 3
+
+let pick_uniform rng = function
+  | [] -> None
+  | moves -> Some (List.nth moves (Random.State.int rng (List.length moves)))
+
+(* Choose the move the selected agent performs. *)
+let choose_move cfg rng g u =
+  let open Response in
+  match cfg.move_rule with
+  | Any_improving -> pick_uniform rng (improving_moves cfg.model g u)
+  | Best_response -> (
+      let best = best_moves cfg.model g u in
+      match cfg.tie_break with
+      | First_candidate -> ( match best with [] -> None | e :: _ -> Some e)
+      | Uniform -> pick_uniform rng best
+      | Prefer_deletion ->
+          let rank e = kind_rank (Move.classify_effect g e.move) in
+          let min_rank =
+            List.fold_left (fun acc e -> min acc (rank e)) max_int best
+          in
+          pick_uniform rng (List.filter (fun e -> rank e = min_rank) best))
+
+let state_key model g =
+  if Model.uses_ownership model then Canonical.key g else Canonical.unowned_key g
+
+let run ?rng cfg initial =
+  let rng =
+    match rng with
+    | Some r -> r
+    | None -> Random.State.make [| 0x5eed; Graph.n initial |]
+  in
+  let g = Graph.copy initial in
+  let ws = Paths.Workspace.create (Graph.n g) in
+  let seen : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  if cfg.detect_cycles then Hashtbl.replace seen (state_key cfg.model g) 0;
+  let history = ref [] in
+  let rec loop step last =
+    if step >= cfg.max_steps then (Step_limit, step)
+    else
+      match Policy.select cfg.policy ~rng ~ws cfg.model g ~last with
+      | None -> (Converged, step)
+      | Some u -> (
+          match choose_move cfg rng g u with
+          | None ->
+              (* The policy only offers unhappy agents, so an improving move
+                 must exist. *)
+              assert false
+          | Some e ->
+              let effect = Move.classify_effect g e.Response.move in
+              ignore (Move.apply g e.Response.move);
+              if cfg.record_history then
+                history :=
+                  {
+                    index = step;
+                    move = e.Response.move;
+                    effect;
+                    cost_before = e.Response.before;
+                    cost_after = e.Response.after;
+                  }
+                  :: !history;
+              let step = step + 1 in
+              if cfg.detect_cycles then begin
+                let key = state_key cfg.model g in
+                match Hashtbl.find_opt seen key with
+                | Some first_visit ->
+                    (Cycle_detected { first_visit; period = step - first_visit },
+                     step)
+                | None ->
+                    Hashtbl.replace seen key step;
+                    loop step (Some u)
+              end
+              else loop step (Some u))
+  in
+  let reason, steps = loop 0 None in
+  { reason; steps; history = List.rev !history; final = g }
+
+let converged r = match r.reason with
+  | Converged -> true
+  | Cycle_detected _ | Step_limit -> false

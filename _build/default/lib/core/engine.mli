@@ -1,0 +1,80 @@
+(** The network creation process: sequential improving-move dynamics.
+
+    Starting from an initial network [G_0], repeatedly: the move policy
+    picks an unhappy agent, that agent performs a best (or any improving)
+    move, and the state advances.  The process stops when nobody is
+    unhappy (a {e stable network} — a pure Nash equilibrium of the
+    underlying game), when a previously visited state recurs (a better- or
+    best-response cycle), or when the step budget runs out.
+
+    This engine {e is} the distributed-local-search algorithm whose
+    convergence the paper analyses; all the experiments of Sections 3.4 and
+    4.2 are [run] under different configurations. *)
+
+type move_rule =
+  | Best_response
+      (** The mover plays a best possible move; ties resolved by
+          {!tie_break}.  Used by every experiment in the paper. *)
+  | Any_improving
+      (** The mover plays a uniformly random improving move — better-
+          response dynamics, the widest notion under which FIPG
+          membership is defined. *)
+
+type tie_break =
+  | Uniform  (** uniformly random among the tied best moves (Sec. 3.4.1) *)
+  | Prefer_deletion
+      (** deletions before swaps before additions (Sec. 4.2.1), remaining
+          ties uniform *)
+  | First_candidate  (** deterministic: first in enumeration order *)
+
+type config = {
+  model : Model.t;
+  policy : Policy.t;
+  move_rule : move_rule;
+  tie_break : tie_break;
+  max_steps : int;
+  detect_cycles : bool;
+      (** remember every visited state (exact, labelled) and stop on
+          recurrence.  Costs memory proportional to steps. *)
+  record_history : bool;
+}
+
+val config :
+  ?policy:Policy.t ->
+  ?move_rule:move_rule ->
+  ?tie_break:tie_break ->
+  ?max_steps:int ->
+  ?detect_cycles:bool ->
+  ?record_history:bool ->
+  Model.t ->
+  config
+(** Defaults: max-cost policy, best response, uniform ties, [100 * n + 1000]
+    steps, cycle detection off, history on. *)
+
+type step = {
+  index : int;  (** 0-based position in the run *)
+  move : Move.t;
+  effect : Move.kind;  (** net effect, for phase statistics *)
+  cost_before : Cost.t;  (** the mover's cost before the move *)
+  cost_after : Cost.t;
+}
+
+type stop_reason =
+  | Converged
+  | Cycle_detected of { first_visit : int; period : int }
+      (** the state after the last step was first seen after step
+          [first_visit]; [period] steps separate the two visits *)
+  | Step_limit
+
+type result = {
+  reason : stop_reason;
+  steps : int;  (** number of moves performed *)
+  history : step list;  (** chronological; empty unless [record_history] *)
+  final : Graph.t;
+}
+
+val run : ?rng:Random.State.t -> config -> Graph.t -> result
+(** Runs the process on a private copy of the initial network.  [rng]
+    defaults to a fixed seed, so runs are reproducible by default. *)
+
+val converged : result -> bool

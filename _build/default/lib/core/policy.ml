@@ -1,0 +1,53 @@
+type t =
+  | Max_cost
+  | Random_unhappy
+  | Round_robin
+  | Adversarial of (Graph.t -> int list -> int option)
+
+let shuffle rng arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Random.State.int rng (i + 1) in
+    let t = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- t
+  done
+
+(* First unhappy agent in the given probe order. *)
+let first_unhappy ws model g order =
+  let n = Array.length order in
+  let rec probe i =
+    if i >= n then None
+    else if Response.is_unhappy ~ws model g order.(i) then Some order.(i)
+    else probe (i + 1)
+  in
+  probe 0
+
+let select t ~rng ~ws model g ~last =
+  let n = Graph.n g in
+  match t with
+  | Max_cost ->
+      (* Sort by descending cost; shuffle first so that the stable sort
+         breaks cost ties uniformly at random. *)
+      let order = Array.init n (fun i -> i) in
+      shuffle rng order;
+      let costs = Array.init n (fun u -> Agents.cost_ws ws model g u) in
+      let unit_price = Model.unit_price model in
+      let sorted =
+        List.stable_sort
+          (fun a b -> Cost.compare ~unit_price costs.(b) costs.(a))
+          (Array.to_list order)
+      in
+      first_unhappy ws model g (Array.of_list sorted)
+  | Random_unhappy ->
+      let order = Array.init n (fun i -> i) in
+      shuffle rng order;
+      first_unhappy ws model g order
+  | Round_robin ->
+      let start = match last with None -> 0 | Some u -> (u + 1) mod n in
+      let order = Array.init n (fun i -> (start + i) mod n) in
+      first_unhappy ws model g order
+  | Adversarial f ->
+      let unhappy =
+        List.filter (Response.is_unhappy ~ws model g) (Graph.vertices g)
+      in
+      if unhappy = [] then None else f g unhappy

@@ -1,0 +1,20 @@
+let sorted_cost_vector = Agents.sorted_cost_vector
+
+let lex_decreases model g move =
+  let before = sorted_cost_vector model g in
+  let after = Move.with_applied g move (fun g -> sorted_cost_vector model g) in
+  Agents.compare_cost_vectors model after before < 0
+
+let social_cost_decreases model g move =
+  let unit_price = Model.unit_price model in
+  let before = Agents.social_cost model g in
+  let after = Move.with_applied g move (fun g -> Agents.social_cost model g) in
+  Cost.lt ~unit_price after before
+
+let diameter_never_increases _model g move =
+  let before = Paths.diameter g in
+  let after = Move.with_applied g move (fun g -> Paths.diameter g) in
+  match (before, after) with
+  | _, None -> false
+  | None, Some _ -> true
+  | Some b, Some a -> a <= b

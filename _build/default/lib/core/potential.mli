@@ -1,0 +1,25 @@
+(** Potential functions for convergence proofs.
+
+    A generalized ordinal potential maps states to an ordered set so that
+    every improving move strictly decreases it; its existence is equivalent
+    to the finite improvement property (Monderer & Shapley).  The paper
+    exhibits two: the sorted cost vector under lexicographic order for the
+    MAX-SG on trees (Lemma 2.6), and the social cost for the SUM-SG on
+    trees (Lenzner 2011, used by Corollary 3.1).  These helpers evaluate and
+    monitor both. *)
+
+val sorted_cost_vector : Model.t -> Graph.t -> Cost.t array
+(** Definition 2.5: agents' costs in non-increasing order. *)
+
+val lex_decreases : Model.t -> Graph.t -> Move.t -> bool
+(** Whether applying the move strictly decreases the sorted cost vector
+    lexicographically — the Lemma 2.6 potential. *)
+
+val social_cost_decreases : Model.t -> Graph.t -> Move.t -> bool
+(** Whether applying the move strictly decreases the social cost — the
+    SUM-SG-on-trees potential. *)
+
+val diameter_never_increases : Model.t -> Graph.t -> Move.t -> bool
+(** Lemma 2.6's corollary used in Lemma 2.10: an improving MAX-SG tree swap
+    cannot increase the diameter.  [true] when the diameter after the move
+    is at most the diameter before (disconnection counts as increase). *)

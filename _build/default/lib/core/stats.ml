@@ -1,0 +1,48 @@
+type summary = {
+  runs : int;
+  converged : int;
+  cycles : int;
+  limited : int;
+  avg_steps : float;
+  max_steps : int;
+  min_steps : int;
+}
+
+let summarize results =
+  let runs = List.length results in
+  let converged_runs =
+    List.filter (fun r -> Engine.converged r) results
+  in
+  let count p = List.length (List.filter p results) in
+  let cycles =
+    count (fun r ->
+        match r.Engine.reason with
+        | Engine.Cycle_detected _ -> true
+        | Engine.Converged | Engine.Step_limit -> false)
+  in
+  let limited =
+    count (fun r ->
+        match r.Engine.reason with
+        | Engine.Step_limit -> true
+        | Engine.Converged | Engine.Cycle_detected _ -> false)
+  in
+  let steps = List.map (fun r -> r.Engine.steps) converged_runs in
+  let converged = List.length converged_runs in
+  let avg_steps =
+    if converged = 0 then nan
+    else float_of_int (List.fold_left ( + ) 0 steps) /. float_of_int converged
+  in
+  {
+    runs;
+    converged;
+    cycles;
+    limited;
+    avg_steps;
+    max_steps = List.fold_left max 0 steps;
+    min_steps = (match steps with [] -> 0 | s :: rest -> List.fold_left min s rest);
+  }
+
+let pp fmt s =
+  Format.fprintf fmt
+    "runs=%d converged=%d cycles=%d limited=%d avg=%.2f max=%d min=%d" s.runs
+    s.converged s.cycles s.limited s.avg_steps s.max_steps s.min_steps

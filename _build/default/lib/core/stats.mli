@@ -1,0 +1,19 @@
+(** Aggregation over batches of dynamics runs.
+
+    The paper's plots report, per configuration, the average and the
+    maximum number of steps until convergence over many random trials
+    (Figs. 7, 8, 11-14); this is the matching reduction. *)
+
+type summary = {
+  runs : int;
+  converged : int;
+  cycles : int;  (** runs that revisited a state *)
+  limited : int;  (** runs stopped by the step budget *)
+  avg_steps : float;  (** over converged runs; [nan] if none *)
+  max_steps : int;  (** over converged runs; 0 if none *)
+  min_steps : int;  (** over converged runs; 0 if none *)
+}
+
+val summarize : Engine.result list -> summary
+
+val pp : Format.formatter -> summary -> unit

@@ -1,0 +1,49 @@
+type op_counts = { deletes : int; swaps : int; buys : int; jumps : int }
+
+let zero = { deletes = 0; swaps = 0; buys = 0; jumps = 0 }
+
+let total c = c.deletes + c.swaps + c.buys + c.jumps
+
+let bump c = function
+  | Move.Kdelete -> { c with deletes = c.deletes + 1 }
+  | Move.Kswap -> { c with swaps = c.swaps + 1 }
+  | Move.Kbuy -> { c with buys = c.buys + 1 }
+  | Move.Kjump -> { c with jumps = c.jumps + 1 }
+
+let count_ops history =
+  List.fold_left (fun acc (s : Engine.step) -> bump acc s.effect) zero history
+
+let phases k history =
+  if k < 1 then invalid_arg "Trajectory.phases";
+  let steps = Array.of_list history in
+  let n = Array.length steps in
+  let width = max 1 (n / k) in
+  Array.init k (fun w ->
+      let lo = w * width in
+      let hi = if w = k - 1 then n else min n ((w + 1) * width) in
+      let acc = ref zero in
+      for i = lo to hi - 1 do
+        acc := bump !acc steps.(i).Engine.effect
+      done;
+      !acc)
+
+let dominant c =
+  let entries =
+    [ (Move.Kdelete, c.deletes); (Move.Kswap, c.swaps); (Move.Kbuy, c.buys);
+      (Move.Kjump, c.jumps) ]
+  in
+  let best =
+    List.fold_left (fun acc (_, n) -> max acc n) 0 entries
+  in
+  if best = 0 then None
+  else
+    match List.filter (fun (_, n) -> n = best) entries with
+    | [ (k, _) ] -> Some k
+    | _ -> None
+
+let movers history =
+  List.map (fun (s : Engine.step) -> Move.agent s.Engine.move) history
+
+let pp_op_counts fmt c =
+  Format.fprintf fmt "del=%d swap=%d buy=%d jump=%d" c.deletes c.swaps c.buys
+    c.jumps

@@ -1,0 +1,24 @@
+(** Trajectory analysis: what kinds of moves a run performs, and when.
+
+    Section 4.2.2 describes typical Greedy-Buy-Game runs as three phases —
+    mostly deletions, then mostly swaps (with some buys), then swaps and
+    deletions again.  These helpers turn an engine history into the
+    operation statistics behind that narrative. *)
+
+type op_counts = { deletes : int; swaps : int; buys : int; jumps : int }
+
+val total : op_counts -> int
+
+val count_ops : Engine.step list -> op_counts
+
+val phases : int -> Engine.step list -> op_counts array
+(** [phases k history] splits the run into [k] equal-length windows
+    (the last takes the remainder) and counts operations per window. *)
+
+val dominant : op_counts -> Move.kind option
+(** The strictly most frequent operation kind, if any. *)
+
+val movers : Engine.step list -> int list
+(** The sequence of moving agents. *)
+
+val pp_op_counts : Format.formatter -> op_counts -> unit

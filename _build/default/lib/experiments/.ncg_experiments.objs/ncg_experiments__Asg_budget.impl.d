@@ -1,0 +1,1 @@
+lib/experiments/asg_budget.ml: Gen List Model Policy Printf Runner Series

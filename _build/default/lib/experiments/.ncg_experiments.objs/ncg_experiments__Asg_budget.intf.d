@@ -1,0 +1,1 @@
+lib/experiments/asg_budget.mli: Model Policy Series

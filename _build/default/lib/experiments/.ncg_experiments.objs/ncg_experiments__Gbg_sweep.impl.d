@@ -1,0 +1,1 @@
+lib/experiments/gbg_sweep.ml: Asg_budget Engine Gen List Model Ncg_rational Policy Printf Runner Series

@@ -1,0 +1,1 @@
+lib/experiments/gbg_sweep.mli: Model Ncg_rational Policy Series

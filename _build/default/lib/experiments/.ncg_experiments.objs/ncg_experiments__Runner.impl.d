@@ -1,0 +1,1 @@
+lib/experiments/runner.ml: Engine Graph List Model Ncg_parallel Policy Random Stats

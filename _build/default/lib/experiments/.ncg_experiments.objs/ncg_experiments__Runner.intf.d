@@ -1,0 +1,1 @@
+lib/experiments/runner.mli: Engine Graph Model Policy Random Stats

@@ -1,0 +1,1 @@
+lib/experiments/series.ml: Buffer Fun List Ncg_core Printf

@@ -1,0 +1,1 @@
+lib/experiments/topology.ml: Asg_budget Engine Gbg_sweep Gen List Model Policy Printf Runner Series

@@ -1,0 +1,1 @@
+lib/experiments/topology.mli: Gbg_sweep Graph Model Policy Random Series

@@ -1,0 +1,43 @@
+type params = {
+  dist : Model.dist_mode;
+  budgets : int list;
+  policies : (string * Policy.t) list;
+  ns : int list;
+  trials : int;
+  seed : int;
+  domains : int;
+}
+
+let paper_policies =
+  [ ("max cost", Policy.Max_cost); ("random", Policy.Random_unhappy) ]
+
+let default dist =
+  {
+    dist;
+    budgets = [ 1; 2; 3; 4; 5; 6; 10 ];
+    policies = paper_policies;
+    ns = [ 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ];
+    trials = 20;
+    seed = 2013;
+    domains = 1;
+  }
+
+let point p k policy n =
+  let model = Model.make Model.Asg p.dist n in
+  let spec =
+    Runner.spec ~policy model (fun rng -> Gen.random_budget_network rng n k)
+  in
+  { Series.n; summary = Runner.run ~domains:p.domains ~seed:p.seed
+        ~trials:p.trials spec }
+
+let sweep p =
+  List.concat_map
+    (fun k ->
+      List.map
+        (fun (policy_name, policy) ->
+          {
+            Series.label = Printf.sprintf "k=%d %s" k policy_name;
+            points = List.map (point p k policy) p.ns;
+          })
+        p.policies)
+    p.budgets

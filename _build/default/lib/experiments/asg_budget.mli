@@ -1,0 +1,32 @@
+(** Figures 7 and 8: the bounded-budget Asymmetric Swap Game.
+
+    Per configuration (budget [k], move policy, number of agents [n]): run
+    trials on random initial networks where every agent owns exactly [k]
+    edges (the Section 3.4.1 generator) until a stable network emerges,
+    with moving agents playing best possible edge-swaps, ties uniform.
+
+    The paper's headline observations, which {!Bench} and the test suite
+    check: no run exceeds [5n] steps, no best-response cycle ever appears,
+    max-cost beats the random policy in the SUM version and the two
+    policies are nearly indistinguishable in the MAX version. *)
+
+type params = {
+  dist : Model.dist_mode;
+  budgets : int list;  (** paper: [1; 2; 3; 4; 5; 6; 10] *)
+  policies : (string * Policy.t) list;
+  ns : int list;  (** paper: 10, 20, ..., 100 *)
+  trials : int;  (** paper: 10000 *)
+  seed : int;
+  domains : int;
+}
+
+val default : Model.dist_mode -> params
+(** The paper's grid with laptop-scale trials (see [trials] field) —
+    scale up through {!Bin} or the [ncg_sim] executable. *)
+
+val paper_policies : (string * Policy.t) list
+(** [("max cost", Max_cost); ("random", Random_unhappy)]. *)
+
+val sweep : params -> Series.curve list
+(** One curve per (budget, policy) pair, labelled like the paper's legend
+    ("k=2 max cost").  Curves appear in [budgets x policies] order. *)

@@ -1,0 +1,59 @@
+module Q = Ncg_rational.Q
+
+type alpha_spec = Alpha_n_over of int
+
+let alpha_of (Alpha_n_over d) n = Q.make n d
+
+let alpha_label (Alpha_n_over d) =
+  if d = 1 then "a=n" else Printf.sprintf "a=n/%d" d
+
+type params = {
+  dist : Model.dist_mode;
+  m_factors : int list;
+  alphas : alpha_spec list;
+  policies : (string * Policy.t) list;
+  ns : int list;
+  trials : int;
+  seed : int;
+  domains : int;
+}
+
+let default dist =
+  {
+    dist;
+    m_factors = [ 1; 4 ];
+    alphas = [ Alpha_n_over 10; Alpha_n_over 4; Alpha_n_over 1 ];
+    policies = Asg_budget.paper_policies;
+    ns = [ 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ];
+    trials = 20;
+    seed = 2013;
+    domains = 1;
+  }
+
+let point p m_factor alpha policy n =
+  let m = min (m_factor * n) (n * (n - 1) / 2) in
+  let model = Model.make ~alpha:(alpha_of alpha n) Model.Gbg p.dist n in
+  let spec =
+    Runner.spec ~policy ~tie_break:Engine.Prefer_deletion model (fun rng ->
+        Gen.random_m_edges rng n m)
+  in
+  { Series.n;
+    summary = Runner.run ~domains:p.domains ~seed:p.seed ~trials:p.trials spec
+  }
+
+let sweep p =
+  List.concat_map
+    (fun m_factor ->
+      List.concat_map
+        (fun alpha ->
+          List.map
+            (fun (policy_name, policy) ->
+              {
+                Series.label =
+                  Printf.sprintf "m=%dn, %s, %s" m_factor
+                    (alpha_label alpha) policy_name;
+                points = List.map (point p m_factor alpha policy) p.ns;
+              })
+            p.policies)
+        p.alphas)
+    p.m_factors

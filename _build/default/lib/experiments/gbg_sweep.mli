@@ -1,0 +1,36 @@
+(** Figures 11 and 13: convergence of the Greedy Buy Game.
+
+    Per configuration (initial edge count [m], edge price [alpha], policy,
+    [n]): random [m]-edge initial networks (Sec. 4.2.1), best responses
+    with the paper's deletion-before-swap-before-addition tie preference.
+    Edge prices follow the paper's grid [n/10, n/4, n/2, n] — exact
+    rationals, not floats.
+
+    Headline observations checked downstream: convergence within [7n]
+    (SUM) / [8n] (MAX) steps, linear growth, denser initial networks and
+    smaller [alpha] converge more slowly, and no cycles ever. *)
+
+type alpha_spec = Alpha_n_over of int  (** [alpha = n / d] for divisor [d] *)
+
+val alpha_of : alpha_spec -> int -> Ncg_rational.Q.t
+val alpha_label : alpha_spec -> string
+(** Paper-style label, e.g. ["a=n/4"] or ["a=n"]. *)
+
+type params = {
+  dist : Model.dist_mode;
+  m_factors : int list;  (** initial edges = factor * n; paper: 1, 2, 4 *)
+  alphas : alpha_spec list;
+  policies : (string * Policy.t) list;
+  ns : int list;
+  trials : int;  (** paper: 5000 *)
+  seed : int;
+  domains : int;
+}
+
+val default : Model.dist_mode -> params
+(** Paper grid ([m in {n, 4n}], [alpha in {n/10, n/4, n}]) at laptop-scale
+    trials. *)
+
+val sweep : params -> Series.curve list
+(** One curve per (m-factor, alpha, policy), labelled like the paper
+    ("m=4n, a=n/4, max cost"). *)

@@ -1,0 +1,35 @@
+type spec = {
+  model : Model.t;
+  generate : Random.State.t -> Graph.t;
+  policy : Policy.t;
+  tie_break : Engine.tie_break;
+  max_steps : int;
+  detect_cycles : bool;
+}
+
+let spec ?(policy = Policy.Max_cost) ?(tie_break = Engine.Uniform) ?max_steps
+    ?(detect_cycles = true) model generate =
+  let max_steps =
+    match max_steps with
+    | Some s -> s
+    | None -> (50 * Model.n model) + 2000
+  in
+  { model; generate; policy; tie_break; max_steps; detect_cycles }
+
+let run_trial t ~seed ~trial =
+  let rng = Random.State.make [| seed; trial; Model.n t.model |] in
+  let g = t.generate rng in
+  let cfg =
+    Engine.config ~policy:t.policy ~tie_break:t.tie_break
+      ~max_steps:t.max_steps ~detect_cycles:t.detect_cycles
+      ~record_history:false t.model
+  in
+  Engine.run ~rng cfg g
+
+let run ?(domains = 1) ?(seed = 2013) ~trials t =
+  let indices = List.init trials (fun i -> i) in
+  let results =
+    Ncg_parallel.Pool.map ~domains (fun trial -> run_trial t ~seed ~trial)
+      indices
+  in
+  Stats.summarize results

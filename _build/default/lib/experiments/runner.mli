@@ -1,0 +1,33 @@
+(** Trial batches: many runs of one configuration, aggregated.
+
+    Matches the paper's methodology (Secs. 3.4.1 and 4.2.1): per
+    configuration, run T trials on fresh random initial networks and report
+    the average and maximum number of steps until convergence.  Every trial
+    derives its RNG deterministically from [seed] and the trial index, so a
+    batch is reproducible and independent of the number of domains. *)
+
+type spec = {
+  model : Model.t;
+  generate : Random.State.t -> Graph.t;  (** fresh initial network *)
+  policy : Policy.t;
+  tie_break : Engine.tie_break;
+  max_steps : int;
+  detect_cycles : bool;
+}
+
+val spec :
+  ?policy:Policy.t ->
+  ?tie_break:Engine.tie_break ->
+  ?max_steps:int ->
+  ?detect_cycles:bool ->
+  Model.t ->
+  (Random.State.t -> Graph.t) ->
+  spec
+(** Defaults: max-cost policy, uniform ties, [50 * n + 2000] steps, cycle
+    detection on (the paper watched for cycles in every run). *)
+
+val run_trial : spec -> seed:int -> trial:int -> Engine.result
+
+val run : ?domains:int -> ?seed:int -> trials:int -> spec -> Stats.summary
+(** [seed] defaults to 2013 (the paper's year).  Results are deterministic
+    for fixed [seed] and [trials]. *)

@@ -1,0 +1,36 @@
+(** Result series and their presentation.
+
+    A figure in the paper is a family of curves — one per configuration —
+    with the number of agents on the x axis and steps-to-convergence on the
+    y axis.  This module renders those families as aligned text tables
+    (what the bench harness prints) and as gnuplot-ready data files, and
+    carries enough metadata to compare against the paper's envelopes
+    (e.g. "every run below 5n"). *)
+
+type point = {
+  n : int;
+  summary : Ncg_core.Stats.summary;
+}
+
+type curve = {
+  label : string;  (** e.g. "k=2 max cost" — the paper's legend strings *)
+  points : point list;
+}
+
+val envelope : (int -> float) -> string -> curve list -> (string * bool) list
+(** [envelope f desc curves] checks [max_steps <= f n] for every point of
+    every curve; returns per-curve verdicts labelled [desc]. *)
+
+val max_over : curve list -> float
+(** Largest [max_steps / n] ratio across all points — the paper's "no run
+    took longer than 5n" summary statistic. *)
+
+val to_table : ?value:[ `Avg | `Max ] -> curve list -> string
+(** Aligned text table: first column [n], one column per curve. *)
+
+val to_gnuplot : ?value:[ `Avg | `Max ] -> curve list -> string
+(** Whitespace-separated data with a comment header, one block per curve,
+    ready for [plot ... index i]. *)
+
+val write_gnuplot : string -> ?value:[ `Avg | `Max ] -> curve list -> unit
+(** [write_gnuplot path curves] writes {!to_gnuplot} output to a file. *)

@@ -1,0 +1,66 @@
+type setting = Random_net | Random_line | Directed_line
+
+let setting_label = function
+  | Random_net -> "random"
+  | Random_line -> "rl"
+  | Directed_line -> "dl"
+
+let generate setting rng n =
+  match setting with
+  | Random_net -> Gen.random_m_edges rng n n
+  | Random_line -> Gen.random_line rng n
+  | Directed_line -> Gen.directed_line n
+
+type params = {
+  dist : Model.dist_mode;
+  settings : setting list;
+  alphas : Gbg_sweep.alpha_spec list;
+  policies : (string * Policy.t) list;
+  ns : int list;
+  trials : int;
+  seed : int;
+  domains : int;
+}
+
+let default dist =
+  {
+    dist;
+    settings = [ Random_net; Random_line; Directed_line ];
+    alphas =
+      [ Gbg_sweep.Alpha_n_over 10; Gbg_sweep.Alpha_n_over 4;
+        Gbg_sweep.Alpha_n_over 2; Gbg_sweep.Alpha_n_over 1 ];
+    policies = Asg_budget.paper_policies;
+    ns = [ 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ];
+    trials = 20;
+    seed = 2013;
+    domains = 1;
+  }
+
+let point p setting alpha policy n =
+  let model =
+    Model.make ~alpha:(Gbg_sweep.alpha_of alpha n) Model.Gbg p.dist n
+  in
+  let spec =
+    Runner.spec ~policy ~tie_break:Engine.Prefer_deletion model (fun rng ->
+        generate setting rng n)
+  in
+  { Series.n;
+    summary = Runner.run ~domains:p.domains ~seed:p.seed ~trials:p.trials spec
+  }
+
+let sweep p =
+  List.concat_map
+    (fun setting ->
+      List.concat_map
+        (fun alpha ->
+          List.map
+            (fun (policy_name, policy) ->
+              {
+                Series.label =
+                  Printf.sprintf "%s, %s, %s" (setting_label setting)
+                    (Gbg_sweep.alpha_label alpha) policy_name;
+                points = List.map (point p setting alpha policy) p.ns;
+              })
+            p.policies)
+        p.alphas)
+    p.settings

@@ -1,0 +1,31 @@
+(** Figures 12 and 14: the influence of the starting topology on the GBG.
+
+    Three settings from Section 4.2.2: [random] ([n]-edge random networks),
+    [rl] (a path with random edge ownership) and [dl] (a path whose
+    ownership forms a directed line).  The paper finds topology matters
+    little in the SUM version (within a factor ~2, with [dl] fastest) and
+    more in the MAX version (within a factor ~5, with [random] fastest). *)
+
+type setting = Random_net | Random_line | Directed_line
+
+val setting_label : setting -> string
+(** ["random"], ["rl"], ["dl"] — the paper's legend names. *)
+
+val generate : setting -> Random.State.t -> int -> Graph.t
+
+type params = {
+  dist : Model.dist_mode;
+  settings : setting list;
+  alphas : Gbg_sweep.alpha_spec list;  (** paper: n/10, n/4, n/2, n *)
+  policies : (string * Policy.t) list;
+  ns : int list;
+  trials : int;
+  seed : int;
+  domains : int;
+}
+
+val default : Model.dist_mode -> params
+
+val sweep : params -> Series.curve list
+(** One curve per (setting, alpha, policy), labelled like the paper
+    ("rl, a=n/2, max cost"). *)

@@ -1,0 +1,1 @@
+lib/game/agents.ml: Array Cost Graph List Model Paths

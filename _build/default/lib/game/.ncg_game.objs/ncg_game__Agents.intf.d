@@ -1,0 +1,1 @@
+lib/game/agents.mli: Cost Graph Model Paths

@@ -1,0 +1,1 @@
+lib/game/cost.ml: Format Ncg_rational Printf Stdlib

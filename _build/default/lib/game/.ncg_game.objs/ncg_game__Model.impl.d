@@ -1,0 +1,1 @@
+lib/game/model.ml: Format Graph Host Ncg_rational

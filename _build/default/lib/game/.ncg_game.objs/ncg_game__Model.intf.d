@@ -1,0 +1,1 @@
+lib/game/model.mli: Format Graph Host Ncg_rational

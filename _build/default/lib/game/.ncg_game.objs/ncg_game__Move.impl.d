@@ -1,0 +1,1 @@
+lib/game/move.ml: Format Fun Graph List String

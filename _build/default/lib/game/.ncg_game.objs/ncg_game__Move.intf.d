@@ -1,0 +1,1 @@
+lib/game/move.mli: Format Graph

@@ -1,0 +1,1 @@
+lib/game/response.ml: Agents Array Cost Graph Host List Model Move Paths Printf Seq

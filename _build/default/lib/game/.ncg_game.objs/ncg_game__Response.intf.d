@@ -1,0 +1,1 @@
+lib/game/response.mli: Cost Graph Model Move Paths Seq

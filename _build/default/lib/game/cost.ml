@@ -1,0 +1,54 @@
+module Q = Ncg_rational.Q
+
+type t = Disconnected | Connected of { edge_units : int; dist : int }
+
+let connected ~edge_units ~dist =
+  if edge_units < 0 || dist < 0 then invalid_arg "Cost.connected";
+  Connected { edge_units; dist }
+
+let disconnected = Disconnected
+
+let is_finite = function Disconnected -> false | Connected _ -> true
+
+(* Compare e1*p/q + d1 with e2*p/q + d2 by cross-multiplying with the
+   positive denominator q: e1*p + d1*q vs e2*p + d2*q. *)
+let compare ~unit_price a b =
+  match (a, b) with
+  | Disconnected, Disconnected -> 0
+  | Disconnected, Connected _ -> 1
+  | Connected _, Disconnected -> -1
+  | Connected a, Connected b ->
+      let { Q.num = p; den = q } = unit_price in
+      Stdlib.compare
+        ((a.edge_units * p) + (a.dist * q))
+        ((b.edge_units * p) + (b.dist * q))
+
+let lt ~unit_price a b = compare ~unit_price a b < 0
+let le ~unit_price a b = compare ~unit_price a b <= 0
+let equal ~unit_price a b = compare ~unit_price a b = 0
+
+let add a b =
+  match (a, b) with
+  | Disconnected, _ | _, Disconnected -> Disconnected
+  | Connected a, Connected b ->
+      Connected
+        { edge_units = a.edge_units + b.edge_units; dist = a.dist + b.dist }
+
+let zero = Connected { edge_units = 0; dist = 0 }
+
+let to_q ~unit_price = function
+  | Disconnected -> None
+  | Connected { edge_units; dist } ->
+      Some (Q.add (Q.mul_int unit_price edge_units) (Q.of_int dist))
+
+let to_float ~unit_price c =
+  match to_q ~unit_price c with
+  | None -> infinity
+  | Some q -> Q.to_float q
+
+let to_string = function
+  | Disconnected -> "inf"
+  | Connected { edge_units = 0; dist } -> string_of_int dist
+  | Connected { edge_units; dist } -> Printf.sprintf "%du+%d" edge_units dist
+
+let pp fmt c = Format.pp_print_string fmt (to_string c)

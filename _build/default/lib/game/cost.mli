@@ -1,0 +1,46 @@
+(** Agent costs with exact comparison.
+
+    The cost of agent [u] is [c(u) = e(u) + delta(u)] where [e(u)] is
+    [alpha] times the number of edge units the agent pays for and
+    [delta(u)] the distance-cost, infinite on disconnection (Sec. 1.1).  A
+    cost is stored symbolically as the pair (edge units, distance) so that
+    comparisons under a rational [alpha] are exact — crucial for the
+    gadgets, whose [alpha] lives in open intervals like [7 < alpha < 8]
+    where float rounding could flip a best response.
+
+    An "edge unit" is worth [alpha] in the unilateral games (the owner pays
+    the full price) and [alpha/2] in the bilateral game (the price is split);
+    the unit price is supplied at comparison time by the game model. *)
+
+type t =
+  | Disconnected  (** infinite cost *)
+  | Connected of { edge_units : int; dist : int }
+
+val connected : edge_units:int -> dist:int -> t
+val disconnected : t
+
+val is_finite : t -> bool
+
+val compare : unit_price:Ncg_rational.Q.t -> t -> t -> int
+(** Total order for a fixed positive unit price; [Disconnected] is the
+    maximum.  Two [Disconnected] costs are equal. *)
+
+val lt : unit_price:Ncg_rational.Q.t -> t -> t -> bool
+val le : unit_price:Ncg_rational.Q.t -> t -> t -> bool
+val equal : unit_price:Ncg_rational.Q.t -> t -> t -> bool
+
+val add : t -> t -> t
+(** Component-wise sum (used for social cost); [Disconnected] absorbs. *)
+
+val zero : t
+
+val to_q : unit_price:Ncg_rational.Q.t -> t -> Ncg_rational.Q.t option
+(** Exact numeric value, [None] when infinite. *)
+
+val to_float : unit_price:Ncg_rational.Q.t -> t -> float
+(** [infinity] when disconnected; for display only. *)
+
+val pp : Format.formatter -> t -> unit
+(** Symbolic form, e.g. [3u+17] or [inf]. *)
+
+val to_string : t -> string

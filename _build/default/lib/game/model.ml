@@ -1,0 +1,44 @@
+module Q = Ncg_rational.Q
+
+type game = Sg | Asg | Gbg | Bg | Bilateral
+type dist_mode = Sum | Max
+
+type t = { game : game; dist_mode : dist_mode; alpha : Q.t; host : Host.t }
+
+let make ?(alpha = Q.one) ?host game dist_mode size =
+  if Q.sign alpha <= 0 then invalid_arg "Model.make: alpha must be positive";
+  let host = match host with Some h -> h | None -> Host.complete size in
+  if Host.n host <> size then invalid_arg "Model.make: host size mismatch";
+  { game; dist_mode; alpha; host }
+
+let n t = Host.n t.host
+
+let unit_price t =
+  match t.game with
+  | Bilateral -> Q.div t.alpha (Q.of_int 2)
+  | Sg | Asg | Gbg | Bg -> t.alpha
+
+let edge_units t g u =
+  match t.game with
+  | Sg | Asg -> 0
+  | Gbg | Bg -> Graph.owned_degree g u
+  | Bilateral -> Graph.degree g u
+
+let uses_ownership t =
+  match t.game with Sg | Bilateral -> false | Asg | Gbg | Bg -> true
+
+let game_name t =
+  let prefix = match t.dist_mode with Sum -> "SUM" | Max -> "MAX" in
+  let base =
+    match t.game with
+    | Sg -> "SG"
+    | Asg -> "ASG"
+    | Gbg -> "GBG"
+    | Bg -> "BG"
+    | Bilateral -> "bilateral equal-split BG"
+  in
+  prefix ^ "-" ^ base
+
+let pp fmt t =
+  Format.fprintf fmt "%s(alpha=%a, n=%d%s)" (game_name t) Q.pp t.alpha (n t)
+    (if Host.is_complete t.host then "" else ", restricted host")

@@ -1,0 +1,52 @@
+(** Game specifications.
+
+    A model fixes everything about the underlying one-shot game: which of
+    the five game types is played, whether distance-cost is the SUM or the
+    MAX version, the edge price [alpha], and the host graph of buildable
+    edges.  A model plus an initial network fully specifies a network
+    creation process (Sec. 1.1). *)
+
+type game =
+  | Sg  (** Swap Game (Alon et al.): either endpoint may swap an edge. *)
+  | Asg  (** Asymmetric Swap Game (Mihalak & Schlegel): owners swap. *)
+  | Gbg  (** Greedy Buy Game (Lenzner): buy / delete / swap one own edge. *)
+  | Bg  (** Buy Game (Fabrikant et al.): arbitrary own-edge strategy. *)
+  | Bilateral
+      (** Bilateral equal-split Buy Game (Corbo & Parkes): consent needed
+          for creation, price split; deletions unilateral. *)
+
+type dist_mode = Sum | Max
+
+type t = private {
+  game : game;
+  dist_mode : dist_mode;
+  alpha : Ncg_rational.Q.t;
+  host : Host.t;
+}
+
+val make :
+  ?alpha:Ncg_rational.Q.t -> ?host:Host.t -> game -> dist_mode -> int -> t
+(** [make game dist_mode n] with a complete host graph on [n] vertices by
+    default.  [alpha] defaults to 1 and is irrelevant for [Sg]/[Asg].
+    @raise Invalid_argument if [alpha <= 0] or the host size is not [n]. *)
+
+val n : t -> int
+(** Number of agents (the host-graph size). *)
+
+val unit_price : t -> Ncg_rational.Q.t
+(** Price of one edge unit: [alpha], except [alpha/2] for {!Bilateral}. *)
+
+val edge_units : t -> Graph.t -> int -> int
+(** How many edge units agent [u] pays for in network [g]: 0 in the swap
+    games (the paper omits edge costs there), the owned degree in the buy
+    games, the full degree in the bilateral game (each incident edge costs
+    half price). *)
+
+val uses_ownership : t -> bool
+(** Whether edge ownership affects legality of moves (false for [Sg] and
+    [Bilateral]). *)
+
+val game_name : t -> string
+(** Paper-style name, e.g. ["SUM-ASG"] or ["MAX bilateral equal-split BG"]. *)
+
+val pp : Format.formatter -> t -> unit

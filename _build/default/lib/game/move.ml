@@ -1,0 +1,160 @@
+type t =
+  | Swap of { agent : int; remove : int; add : int }
+  | Buy of { agent : int; target : int }
+  | Delete of { agent : int; target : int }
+  | Set_own_edges of { agent : int; targets : int list }
+  | Set_neighbors of { agent : int; targets : int list }
+
+(* Primitive reversible graph operations, recorded in application order. *)
+type prim = Added of int * int | Removed of int * int * int
+
+type undo = prim list
+
+let agent = function
+  | Swap { agent; _ }
+  | Buy { agent; _ }
+  | Delete { agent; _ }
+  | Set_own_edges { agent; _ }
+  | Set_neighbors { agent; _ } ->
+      agent
+
+let remove_recorded g u v prims =
+  let o = Graph.owner g u v in
+  Graph.remove_edge g u v;
+  Removed (u, v, o) :: prims
+
+let add_recorded g ~owner u v prims =
+  Graph.add_edge g ~owner u v;
+  Added (u, v) :: prims
+
+let apply g move =
+  match move with
+  | Swap { agent; remove; add } ->
+      if not (Graph.has_edge g agent remove) then
+        invalid_arg "Move.apply: swap of absent edge";
+      if Graph.has_edge g agent add then
+        invalid_arg "Move.apply: swap onto existing edge";
+      if add = agent then invalid_arg "Move.apply: swap onto self";
+      let prims = remove_recorded g agent remove [] in
+      add_recorded g ~owner:agent agent add prims
+  | Buy { agent; target } ->
+      if Graph.has_edge g agent target then
+        invalid_arg "Move.apply: buying existing edge";
+      if target = agent then invalid_arg "Move.apply: buying self-loop";
+      add_recorded g ~owner:agent agent target []
+  | Delete { agent; target } ->
+      if not (Graph.has_edge g agent target) then
+        invalid_arg "Move.apply: deleting absent edge";
+      remove_recorded g agent target []
+  | Set_own_edges { agent; targets } ->
+      let old = Graph.owned_neighbors g agent in
+      let prims =
+        List.fold_left
+          (fun prims v ->
+            if List.mem v targets then prims
+            else remove_recorded g agent v prims)
+          [] old
+      in
+      List.fold_left
+        (fun prims v ->
+          if List.mem v old then prims
+          else begin
+            if Graph.has_edge g agent v then
+              invalid_arg "Move.apply: strategy buys an edge owned elsewhere";
+            if v = agent then invalid_arg "Move.apply: strategy buys self";
+            add_recorded g ~owner:agent agent v prims
+          end)
+        prims targets
+  | Set_neighbors { agent; targets } ->
+      let old = Graph.neighbors g agent in
+      let prims =
+        List.fold_left
+          (fun prims v ->
+            if List.mem v targets then prims
+            else remove_recorded g agent v prims)
+          [] old
+      in
+      List.fold_left
+        (fun prims v ->
+          if List.mem v old then prims
+          else begin
+            if v = agent then invalid_arg "Move.apply: strategy buys self";
+            (* Bilateral networks ignore ownership; pick a convention. *)
+            add_recorded g ~owner:(min agent v) agent v prims
+          end)
+        prims targets
+
+let undo g prims =
+  List.iter
+    (fun prim ->
+      match prim with
+      | Added (u, v) -> Graph.remove_edge g u v
+      | Removed (u, v, o) -> Graph.add_edge g ~owner:o u v)
+    prims
+
+let with_applied g move f =
+  let token = apply g move in
+  Fun.protect ~finally:(fun () -> undo g token) (fun () -> f g)
+
+type kind = Kswap | Kbuy | Kdelete | Kjump
+
+let kind = function
+  | Swap _ -> Kswap
+  | Buy _ -> Kbuy
+  | Delete _ -> Kdelete
+  | Set_own_edges _ | Set_neighbors _ -> Kjump
+
+let classify_effect g move =
+  match move with
+  | Swap _ -> Kswap
+  | Buy _ -> Kbuy
+  | Delete _ -> Kdelete
+  | Set_own_edges { agent; targets } ->
+      let old = List.sort compare (Graph.owned_neighbors g agent) in
+      let next = List.sort_uniq compare targets in
+      let removed = List.filter (fun v -> not (List.mem v next)) old in
+      let added = List.filter (fun v -> not (List.mem v old)) next in
+      (match (removed, added) with
+      | [], [ _ ] -> Kbuy
+      | [ _ ], [] -> Kdelete
+      | [ _ ], [ _ ] -> Kswap
+      | _, _ -> Kjump)
+  | Set_neighbors { agent; targets } ->
+      let old = List.sort compare (Graph.neighbors g agent) in
+      let next = List.sort_uniq compare targets in
+      let removed = List.filter (fun v -> not (List.mem v next)) old in
+      let added = List.filter (fun v -> not (List.mem v old)) next in
+      (match (removed, added) with
+      | [], [ _ ] -> Kbuy
+      | [ _ ], [] -> Kdelete
+      | [ _ ], [ _ ] -> Kswap
+      | _, _ -> Kjump)
+
+let pp fmt = function
+  | Swap { agent; remove; add } ->
+      Format.fprintf fmt "swap %d: %d -> %d" agent remove add
+  | Buy { agent; target } -> Format.fprintf fmt "buy %d -> %d" agent target
+  | Delete { agent; target } ->
+      Format.fprintf fmt "delete %d -> %d" agent target
+  | Set_own_edges { agent; targets } ->
+      Format.fprintf fmt "strategy %d := {%s}" agent
+        (String.concat "," (List.map string_of_int targets))
+  | Set_neighbors { agent; targets } ->
+      Format.fprintf fmt "neighbors %d := {%s}" agent
+        (String.concat "," (List.map string_of_int targets))
+
+let to_string m = Format.asprintf "%a" pp m
+
+let equal a b =
+  match (a, b) with
+  | Swap a, Swap b -> a.agent = b.agent && a.remove = b.remove && a.add = b.add
+  | Buy a, Buy b -> a.agent = b.agent && a.target = b.target
+  | Delete a, Delete b -> a.agent = b.agent && a.target = b.target
+  | Set_own_edges a, Set_own_edges b ->
+      a.agent = b.agent
+      && List.sort compare a.targets = List.sort compare b.targets
+  | Set_neighbors a, Set_neighbors b ->
+      a.agent = b.agent
+      && List.sort compare a.targets = List.sort compare b.targets
+  | (Swap _ | Buy _ | Delete _ | Set_own_edges _ | Set_neighbors _), _ ->
+      false

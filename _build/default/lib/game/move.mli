@@ -1,0 +1,57 @@
+(** Strategy changes and their (reversible) effect on a network.
+
+    A move transforms state [G_i] into [G_{i+1}] by the strategy change of
+    exactly one agent.  [apply] mutates the graph in place and returns an
+    undo token, so best-response enumeration can evaluate thousands of
+    candidate moves on a single graph without copying.
+
+    [apply] checks structural well-formedness only (edges present/absent as
+    required).  Game-specific legality — ownership, host-graph membership,
+    bilateral consent — is enforced by {!Legal} and by the enumeration in
+    {!Response}, which only ever produces legal moves. *)
+
+type t =
+  | Swap of { agent : int; remove : int; add : int }
+      (** Replace edge [{agent, remove}] by [{agent, add}]. *)
+  | Buy of { agent : int; target : int }
+  | Delete of { agent : int; target : int }
+  | Set_own_edges of { agent : int; targets : int list }
+      (** Buy-Game strategy jump: the agent's owned edges become exactly
+          the edges towards [targets]. *)
+  | Set_neighbors of { agent : int; targets : int list }
+      (** Bilateral strategy change: the agent's incident edges become
+          exactly the edges towards [targets] (removed edges are unilateral
+          deletions, added edges need the consent checked by
+          {!Response.feasible}). *)
+
+type undo
+
+val agent : t -> int
+(** The moving agent. *)
+
+val apply : Graph.t -> t -> undo
+(** Mutates the graph.  @raise Invalid_argument if the move is structurally
+    impossible (e.g. swapping an absent edge or buying an existing one). *)
+
+val undo : Graph.t -> undo -> unit
+(** Restores the exact previous state, including edge ownership. *)
+
+val with_applied : Graph.t -> t -> (Graph.t -> 'a) -> 'a
+(** [with_applied g move f] applies, runs [f], undoes — exception-safe. *)
+
+type kind = Kswap | Kbuy | Kdelete | Kjump
+
+val kind : t -> kind
+(** Coarse operation class; a [Set_*] move that happens to add exactly one
+    edge still classifies as [Kjump] — use {!classify_effect} for the
+    paper's operation statistics. *)
+
+val classify_effect : Graph.t -> t -> kind
+(** The net effect of the move on the current graph: one edge added =
+    [Kbuy], one removed = [Kdelete], one traded = [Kswap], anything else
+    [Kjump].  This is what Section 4.2.2's deletion/swap/addition phase
+    statistics count. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+val equal : t -> t -> bool

@@ -1,0 +1,235 @@
+type evaluated = { move : Move.t; before : Cost.t; after : Cost.t }
+
+let exhaustive_limit = 20
+
+(* Subsets of [items] as a sequence, smallest first within the natural
+   binary-counter order.  |items| is bounded by [exhaustive_limit]. *)
+let subsets items =
+  let arr = Array.of_list items in
+  let k = Array.length arr in
+  let count = 1 lsl k in
+  Seq.init count (fun mask ->
+      let rec collect i acc =
+        if i < 0 then acc
+        else collect (i - 1) (if mask land (1 lsl i) <> 0 then arr.(i) :: acc else acc)
+      in
+      collect (k - 1) [])
+
+(* All size-k sublists of [items], generated directly. *)
+let rec combinations items size =
+  if size = 0 then Seq.return []
+  else
+    match items with
+    | [] -> Seq.empty
+    | x :: rest ->
+        Seq.append
+          (Seq.map (fun c -> x :: c) (combinations rest (size - 1)))
+          (fun () -> combinations rest size ())
+
+let binomial n k =
+  let k = min k (n - k) in
+  if k < 0 then 0
+  else
+    let rec go acc i = if i > k then acc else go (acc * (n - k + i) / i) (i + 1) in
+    go 1 1
+
+let check_exhaustive what k =
+  if k > exhaustive_limit then
+    invalid_arg
+      (Printf.sprintf
+         "Response: %s strategy space has %d candidate partners (> %d); \
+          exhaustive best response refused"
+         what k exhaustive_limit)
+
+let swap_targets model g u =
+  let host = model.Model.host in
+  List.filter
+    (fun v -> v <> u && (not (Graph.has_edge g u v)) && Host.allows host u v)
+    (Graph.vertices g)
+
+let candidates model g u =
+  let host = model.Model.host in
+  match model.Model.game with
+  | Model.Sg | Model.Asg ->
+      let removable =
+        if Model.uses_ownership model then Graph.owned_neighbors g u
+        else Graph.neighbors g u
+      in
+      let targets = swap_targets model g u in
+      List.to_seq removable
+      |> Seq.concat_map (fun x ->
+             List.to_seq targets
+             |> Seq.map (fun y -> Move.Swap { agent = u; remove = x; add = y }))
+  | Model.Gbg ->
+      let removable = Graph.owned_neighbors g u in
+      let targets = swap_targets model g u in
+      let swaps =
+        List.to_seq removable
+        |> Seq.concat_map (fun x ->
+               List.to_seq targets
+               |> Seq.map (fun y ->
+                      Move.Swap { agent = u; remove = x; add = y }))
+      in
+      let buys =
+        List.to_seq targets
+        |> Seq.map (fun y -> Move.Buy { agent = u; target = y })
+      in
+      let deletes =
+        List.to_seq removable
+        |> Seq.map (fun x -> Move.Delete { agent = u; target = x })
+      in
+      Seq.append deletes (Seq.append swaps buys)
+  | Model.Bg ->
+      (* Partners u may own an edge to: anyone allowed by the host except
+         vertices already linked to u by an edge owned elsewhere (a parallel
+         edge only ever adds cost, so excluding it loses no improving or
+         best-response move). *)
+      let partners =
+        List.filter
+          (fun v ->
+            v <> u
+            && Host.allows host u v
+            && not (Graph.has_edge g u v && not (Graph.owns g u v)))
+          (Graph.vertices g)
+      in
+      check_exhaustive "Buy Game" (List.length partners);
+      let current = List.sort compare (Graph.owned_neighbors g u) in
+      subsets partners
+      |> Seq.filter (fun s -> List.sort compare s <> current)
+      |> Seq.map (fun s -> Move.Set_own_edges { agent = u; targets = s })
+  | Model.Bilateral ->
+      let partners =
+        List.filter
+          (fun v -> v <> u && Host.allows host u v)
+          (Graph.vertices g)
+      in
+      check_exhaustive "bilateral" (List.length partners);
+      let current = List.sort compare (Graph.neighbors g u) in
+      subsets partners
+      |> Seq.filter (fun s -> List.sort compare s <> current)
+      |> Seq.map (fun s -> Move.Set_neighbors { agent = u; targets = s })
+
+let multi_swap_candidates model g u =
+  let enumerate own make =
+    let partners = swap_targets model g u in
+    let d = List.length own in
+    let p = List.length partners in
+    let total =
+      List.fold_left
+        (fun acc k -> acc + (binomial d k * binomial p k))
+        0
+        (List.init (d + 1) (fun k -> k))
+    in
+    if d > 8 || total > 1 lsl 20 then
+      invalid_arg
+        (Printf.sprintf
+           "Response: multi-swap strategy space has %d candidates; \
+            exhaustive enumeration refused"
+           total);
+    (* Keep any subset of the current edges, replace the rest by fresh
+       targets: all strategies S* with |S*| = |S|. *)
+    subsets own
+    |> Seq.concat_map (fun kept ->
+           let missing = d - List.length kept in
+           combinations partners missing
+           |> Seq.map (fun fresh -> kept @ fresh))
+    |> Seq.filter (fun targets ->
+           List.sort compare targets <> List.sort compare own)
+    |> Seq.map make
+  in
+  match model.Model.game with
+  | Model.Asg ->
+      enumerate (Graph.owned_neighbors g u) (fun targets ->
+          Move.Set_own_edges { agent = u; targets })
+  | Model.Sg ->
+      (* In the Swap Game every incident edge is swappable, so a multi-swap
+         replaces any subset of the agent's incident edges. *)
+      enumerate (Graph.neighbors g u) (fun targets ->
+          Move.Set_neighbors { agent = u; targets })
+  | Model.Gbg | Model.Bg | Model.Bilateral ->
+      invalid_arg "Response.multi_swap_candidates: (A)SG only"
+
+let evaluate ?ws model g move =
+  let u = Move.agent move in
+  let cost_of g u =
+    match ws with
+    | Some ws -> Agents.cost_ws ws model g u
+    | None -> Agents.cost model g u
+  in
+  let before = cost_of g u in
+  let after = Move.with_applied g move (fun g -> cost_of g u) in
+  { move; before; after }
+
+let blockers model g move =
+  match (model.Model.game, move) with
+  | Model.Bilateral, Move.Set_neighbors { agent; targets } ->
+      let old = Graph.neighbors g agent in
+      let added = List.filter (fun v -> not (List.mem v old)) targets in
+      if added = [] then []
+      else begin
+        let unit_price = Model.unit_price model in
+        let before = List.map (fun v -> (v, Agents.cost model g v)) added in
+        Move.with_applied g move (fun g ->
+            List.filter_map
+              (fun (v, before_cost) ->
+                let after_cost = Agents.cost model g v in
+                if Cost.le ~unit_price after_cost before_cost then None
+                else Some v)
+              before)
+      end
+  | _, _ -> []
+
+let feasible ?ws:_ model g move = blockers model g move = []
+
+let improving_moves ?ws ?(multi = false) model g u =
+  let unit_price = Model.unit_price model in
+  let base = candidates model g u in
+  let all =
+    if multi then Seq.append base (multi_swap_candidates model g u) else base
+  in
+  Seq.filter_map
+    (fun move ->
+      if not (feasible model g move) then None
+      else
+        let e = evaluate ?ws model g move in
+        if Cost.lt ~unit_price e.after e.before then Some e else None)
+    all
+  |> List.of_seq
+
+let best_moves ?ws ?multi model g u =
+  let unit_price = Model.unit_price model in
+  match improving_moves ?ws ?multi model g u with
+  | [] -> []
+  | first :: _ as all ->
+      let best =
+        List.fold_left
+          (fun acc e ->
+            if Cost.lt ~unit_price e.after acc then e.after else acc)
+          first.after all
+      in
+      List.filter (fun e -> Cost.equal ~unit_price e.after best) all
+
+let is_unhappy ?ws model g u =
+  let unit_price = Model.unit_price model in
+  let before =
+    match ws with
+    | Some ws -> Agents.cost_ws ws model g u
+    | None -> Agents.cost model g u
+  in
+  let improving move =
+    feasible model g move
+    &&
+    let after = Move.with_applied g move (fun g ->
+        match ws with
+        | Some ws -> Agents.cost_ws ws model g u
+        | None -> Agents.cost model g u)
+    in
+    Cost.lt ~unit_price after before
+  in
+  Seq.exists improving (candidates model g u)
+
+let unhappy_agents model g =
+  let ws = Paths.Workspace.create (Graph.n g) in
+  List.filter (is_unhappy ~ws model g) (Graph.vertices g)
+
+let is_stable model g = unhappy_agents model g = []

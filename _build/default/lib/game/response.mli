@@ -1,0 +1,67 @@
+(** Improving moves and best responses.
+
+    An agent is {e unhappy} in a state if some admissible strategy change
+    strictly decreases her cost; a {e best response} is an admissible change
+    achieving the largest decrease (Sec. 1.1).  This module enumerates the
+    admissible moves of each game type, evaluates them by applying them
+    transiently to the network, and — for the bilateral game — filters out
+    moves blocked by a new neighbor who would not consent (Sec. 5).
+
+    Best responses of the Swap, Asymmetric Swap and Greedy Buy games are
+    polynomial (checked edge by edge, as in the paper's experiments).  The
+    Buy Game and the bilateral game have exponential strategy spaces and
+    computing a best response in the BG is NP-hard; the exhaustive
+    enumeration here is intended for the paper's gadgets (≤ ~20 candidate
+    partners) and refuses larger inputs rather than silently hanging. *)
+
+type evaluated = {
+  move : Move.t;
+  before : Cost.t;  (** the moving agent's cost in the current state *)
+  after : Cost.t;  (** her cost once the move is applied *)
+}
+
+val exhaustive_limit : int
+(** Maximum number of candidate partners for the exponential games (20). *)
+
+val candidates : Model.t -> Graph.t -> int -> Move.t Seq.t
+(** All admissible strategy changes of one agent in the current state, in a
+    deterministic order.  Swaps never target the agent or an existing
+    neighbor; buys respect the host graph.
+    @raise Invalid_argument for [Bg]/[Bilateral] beyond
+    {!exhaustive_limit}. *)
+
+val multi_swap_candidates : Model.t -> Graph.t -> int -> Move.t Seq.t
+(** [Sg]/[Asg] only: all strategies replacing any number of swappable edges
+    at once ([|S*| = |S|], arbitrary intersection; own edges in the ASG,
+    all incident edges in the SG) — used to verify the paper's "even with
+    multi-swaps" claims.  Same exhaustive limit. *)
+
+val evaluate : ?ws:Paths.Workspace.t -> Model.t -> Graph.t -> Move.t -> evaluated
+
+val feasible : ?ws:Paths.Workspace.t -> Model.t -> Graph.t -> Move.t -> bool
+(** Bilateral consent: every {e new} neighbor's cost must not increase
+    ([c_G(v) >= c_G'(v)], Sec. 5).  Always [true] for the other games. *)
+
+val blockers : Model.t -> Graph.t -> Move.t -> int list
+(** The new neighbors who would block the move (bilateral only; empty
+    otherwise). *)
+
+val improving_moves :
+  ?ws:Paths.Workspace.t -> ?multi:bool -> Model.t -> Graph.t -> int ->
+  evaluated list
+(** All feasible moves of the agent that strictly decrease her cost.
+    [multi] additionally considers {!multi_swap_candidates}. *)
+
+val best_moves :
+  ?ws:Paths.Workspace.t -> ?multi:bool -> Model.t -> Graph.t -> int ->
+  evaluated list
+(** The improving moves of minimum resulting cost (all ties). *)
+
+val is_unhappy : ?ws:Paths.Workspace.t -> Model.t -> Graph.t -> int -> bool
+(** Early-exits on the first improving move found. *)
+
+val unhappy_agents : Model.t -> Graph.t -> int list
+
+val is_stable : Model.t -> Graph.t -> bool
+(** No agent has a feasible improving move — a pure Nash equilibrium of the
+    underlying game (pairwise stability for the bilateral version). *)

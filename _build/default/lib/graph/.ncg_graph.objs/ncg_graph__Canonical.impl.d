@@ -1,0 +1,1 @@
+lib/graph/canonical.ml: Buffer Graph Hashtbl

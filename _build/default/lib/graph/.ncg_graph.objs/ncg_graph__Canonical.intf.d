@@ -1,0 +1,1 @@
+lib/graph/canonical.mli: Graph

@@ -1,0 +1,1 @@
+lib/graph/host.ml: Array Graph List

@@ -1,0 +1,26 @@
+let key g =
+  let buf = Buffer.create (16 + (Graph.m g * 6)) in
+  Buffer.add_string buf (string_of_int (Graph.n g));
+  Graph.iter_edges
+    (fun u v o ->
+      Buffer.add_char buf ';';
+      Buffer.add_string buf (string_of_int u);
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int v);
+      Buffer.add_char buf (if o = u then '<' else '>'))
+    g;
+  Buffer.contents buf
+
+let unowned_key g =
+  let buf = Buffer.create (16 + (Graph.m g * 6)) in
+  Buffer.add_string buf (string_of_int (Graph.n g));
+  Graph.iter_edges
+    (fun u v _ ->
+      Buffer.add_char buf ';';
+      Buffer.add_string buf (string_of_int u);
+      Buffer.add_char buf ',';
+      Buffer.add_string buf (string_of_int v))
+    g;
+  Buffer.contents buf
+
+let hash g = Hashtbl.hash (key g)

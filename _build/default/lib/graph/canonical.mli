@@ -1,0 +1,17 @@
+(** Exact-state encodings for cycle detection.
+
+    The dynamics engine detects better-response cycles by remembering every
+    visited state; a state is the full labelled network including ownership
+    (two states with relabelled agents are different strategy profiles even
+    when isomorphic).  [key] is injective on states of a fixed vertex count
+    and cheap enough to compute every step. *)
+
+val key : Graph.t -> string
+(** Injective encoding of the labelled, owned graph. *)
+
+val unowned_key : Graph.t -> string
+(** Encoding that forgets ownership — the right state notion for Swap Games
+    and bilateral games, where ownership does not affect strategies. *)
+
+val hash : Graph.t -> int
+(** [Hashtbl.hash] of {!key}. *)

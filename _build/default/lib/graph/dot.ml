@@ -1,0 +1,27 @@
+let to_dot ?(name = "network") ?(labels = string_of_int) ?(highlight = []) g =
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (Printf.sprintf "digraph %s {\n" name);
+  Buffer.add_string buf "  node [shape=circle];\n";
+  List.iter
+    (fun v ->
+      let style =
+        if List.mem v highlight then
+          " style=filled fillcolor=lightgray"
+        else ""
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %d [label=\"%s\"%s];\n" v (labels v) style))
+    (Graph.vertices g);
+  Graph.iter_edges
+    (fun u v o ->
+      let src, dst = if o = u then (u, v) else (v, u) in
+      Buffer.add_string buf (Printf.sprintf "  %d -> %d;\n" src dst))
+    g;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let write_file path dot_source =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc dot_source)

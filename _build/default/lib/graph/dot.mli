@@ -1,0 +1,18 @@
+(** Graphviz export.
+
+    The paper's figures draw edge ownership as arrows pointing away from the
+    owner; this module reproduces that convention so gadget replays can be
+    rendered and compared against the paper visually. *)
+
+val to_dot :
+  ?name:string ->
+  ?labels:(int -> string) ->
+  ?highlight:int list ->
+  Graph.t ->
+  string
+(** DOT source.  Owned edges render as directed arrows owner->other;
+    [labels] names the agents (default: the vertex index); [highlight]
+    fills the listed vertices (used for unhappy agents). *)
+
+val write_file : string -> string -> unit
+(** [write_file path dot_source]. *)

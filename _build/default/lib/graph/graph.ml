@@ -1,0 +1,132 @@
+type t = {
+  size : int;
+  mutable edge_count : int;
+  nbrs : int list array;
+  (* owner_of.(u).(v) is true iff the edge {u, v} exists and u owns it.
+     adj.(u).(v) iff the edge exists.  Matrices keep edge queries O(1); the
+     graphs in this library have at most a few hundred vertices. *)
+  adj : bool array array;
+  owner_of : bool array array;
+}
+
+let create size =
+  if size < 0 then invalid_arg "Graph.create: negative size";
+  {
+    size;
+    edge_count = 0;
+    nbrs = Array.make size [];
+    adj = Array.init size (fun _ -> Array.make size false);
+    owner_of = Array.init size (fun _ -> Array.make size false);
+  }
+
+let n g = g.size
+let m g = g.edge_count
+
+let check_vertex g u name =
+  if u < 0 || u >= g.size then
+    invalid_arg (Printf.sprintf "Graph.%s: vertex %d out of range" name u)
+
+let has_edge g u v =
+  check_vertex g u "has_edge";
+  check_vertex g v "has_edge";
+  g.adj.(u).(v)
+
+let add_edge g ~owner u v =
+  check_vertex g u "add_edge";
+  check_vertex g v "add_edge";
+  if u = v then invalid_arg "Graph.add_edge: self-loop";
+  if g.adj.(u).(v) then
+    invalid_arg (Printf.sprintf "Graph.add_edge: edge {%d,%d} exists" u v);
+  if owner <> u && owner <> v then
+    invalid_arg "Graph.add_edge: owner is not an endpoint";
+  g.adj.(u).(v) <- true;
+  g.adj.(v).(u) <- true;
+  g.owner_of.(owner).(if owner = u then v else u) <- true;
+  g.nbrs.(u) <- v :: g.nbrs.(u);
+  g.nbrs.(v) <- u :: g.nbrs.(v);
+  g.edge_count <- g.edge_count + 1
+
+let remove_edge g u v =
+  check_vertex g u "remove_edge";
+  check_vertex g v "remove_edge";
+  if not g.adj.(u).(v) then
+    invalid_arg (Printf.sprintf "Graph.remove_edge: edge {%d,%d} absent" u v);
+  g.adj.(u).(v) <- false;
+  g.adj.(v).(u) <- false;
+  g.owner_of.(u).(v) <- false;
+  g.owner_of.(v).(u) <- false;
+  g.nbrs.(u) <- List.filter (fun w -> w <> v) g.nbrs.(u);
+  g.nbrs.(v) <- List.filter (fun w -> w <> u) g.nbrs.(v);
+  g.edge_count <- g.edge_count - 1
+
+let owner g u v =
+  if not (has_edge g u v) then
+    invalid_arg (Printf.sprintf "Graph.owner: edge {%d,%d} absent" u v);
+  if g.owner_of.(u).(v) then u else v
+
+let owns g u v =
+  check_vertex g u "owns";
+  check_vertex g v "owns";
+  g.owner_of.(u).(v)
+
+let neighbors g u =
+  check_vertex g u "neighbors";
+  g.nbrs.(u)
+
+let owned_neighbors g u =
+  check_vertex g u "owned_neighbors";
+  List.filter (fun v -> g.owner_of.(u).(v)) g.nbrs.(u)
+
+let degree g u =
+  check_vertex g u "degree";
+  List.length g.nbrs.(u)
+
+let owned_degree g u = List.length (owned_neighbors g u)
+
+let fold_edges f g acc =
+  let acc = ref acc in
+  for u = 0 to g.size - 1 do
+    for v = u + 1 to g.size - 1 do
+      if g.adj.(u).(v) then
+        acc := f u v (if g.owner_of.(u).(v) then u else v) !acc
+    done
+  done;
+  !acc
+
+let iter_edges f g = fold_edges (fun u v o () -> f u v o) g ()
+
+let edges g = List.rev (fold_edges (fun u v o acc -> (u, v, o) :: acc) g [])
+
+let copy g =
+  {
+    size = g.size;
+    edge_count = g.edge_count;
+    nbrs = Array.copy g.nbrs;
+    adj = Array.map Array.copy g.adj;
+    owner_of = Array.map Array.copy g.owner_of;
+  }
+
+let equal g h = n g = n h && edges g = edges h
+
+let of_edges size pairs =
+  let g = create size in
+  List.iter (fun (u, v) -> add_edge g ~owner:u u v) pairs;
+  g
+
+let of_unowned_edges size pairs =
+  let g = create size in
+  List.iter (fun (u, v) -> add_edge g ~owner:(min u v) u v) pairs;
+  g
+
+let vertices g = List.init g.size (fun i -> i)
+
+let pp fmt g =
+  Format.fprintf fmt "{n=%d;" g.size;
+  iter_edges
+    (fun u v o ->
+      let a, b = if o = u then (u, v) else (v, u) in
+      Format.fprintf fmt " %d->%d" a b)
+    g;
+  Format.fprintf fmt "}"
+
+let to_string g = Format.asprintf "%a" pp g

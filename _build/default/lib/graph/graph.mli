@@ -1,0 +1,90 @@
+(** Undirected graphs with per-edge ownership.
+
+    This is the network substrate of every game in the library.  A network is
+    a simple undirected graph [G = (V, E, o)] on vertices [0 .. n-1] together
+    with an ownership function [o : E -> V] mapping each edge to one of its
+    endpoints (Kawald & Lenzner, Sec. 1.1).  Ownership is irrelevant in the
+    Swap Game but decides who may move an edge in the asymmetric games, and
+    who pays for it in the buy games.
+
+    The structure is mutable — the dynamics engine applies and undoes tens of
+    thousands of single-edge moves — and [copy] provides snapshots.  All
+    operations validate their arguments; the invariants (no self-loops, no
+    multi-edges, owner is an endpoint) can never be broken through this
+    interface. *)
+
+type t
+
+val create : int -> t
+(** [create n] is the empty graph on vertices [0 .. n-1].
+    @raise Invalid_argument if [n < 0]. *)
+
+val n : t -> int
+(** Number of vertices. *)
+
+val m : t -> int
+(** Number of edges. *)
+
+val add_edge : t -> owner:int -> int -> int -> unit
+(** [add_edge g ~owner u v] inserts the undirected edge [{u, v}] owned by
+    [owner].
+    @raise Invalid_argument if [u = v], if the edge already exists, if a
+    vertex is out of range, or if [owner] is neither [u] nor [v]. *)
+
+val remove_edge : t -> int -> int -> unit
+(** @raise Invalid_argument if the edge is absent. *)
+
+val has_edge : t -> int -> int -> bool
+
+val owner : t -> int -> int -> int
+(** [owner g u v] is the endpoint that owns edge [{u, v}].
+    @raise Invalid_argument if the edge is absent. *)
+
+val owns : t -> int -> int -> bool
+(** [owns g u v] is [true] iff the edge [{u, v}] exists and is owned by
+    [u]. *)
+
+val neighbors : t -> int -> int list
+(** All neighbors of a vertex, in unspecified order. *)
+
+val owned_neighbors : t -> int -> int list
+(** [owned_neighbors g u] are the vertices [v] with [owns g u v] — the
+    current strategy of agent [u] in the asymmetric games. *)
+
+val degree : t -> int -> int
+val owned_degree : t -> int -> int
+
+val fold_edges : (int -> int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+(** [fold_edges f g acc] folds [f u v owner] over all edges with [u < v]. *)
+
+val iter_edges : (int -> int -> int -> unit) -> t -> unit
+(** [iter_edges f g] calls [f u v owner] for every edge with [u < v]. *)
+
+val edges : t -> (int * int * int) list
+(** [(u, v, owner)] triples with [u < v], sorted lexicographically. *)
+
+val copy : t -> t
+(** Independent deep copy. *)
+
+val equal : t -> t -> bool
+(** Exact equality: same vertex count, edge set and ownership.  (For
+    equality up to relabeling see {!Iso}.) *)
+
+val of_edges : int -> (int * int) list -> t
+(** [of_edges n pairs] builds a graph where each pair [(u, v)] becomes an
+    edge owned by [u] — the convention used to transcribe the paper's
+    figures, where arrows point away from the owner.
+    @raise Invalid_argument as {!add_edge}. *)
+
+val of_unowned_edges : int -> (int * int) list -> t
+(** Like {!of_edges} but ownership is set to the smaller endpoint; used for
+    games where ownership is irrelevant (SG, bilateral). *)
+
+val vertices : t -> int list
+(** [0; 1; ...; n-1]. *)
+
+val pp : Format.formatter -> t -> unit
+(** Compact debugging form, e.g. [{n=4; 0->1 2->1 2->3}] where [a->b] means
+    edge [{a, b}] owned by [a]. *)
+
+val to_string : t -> string

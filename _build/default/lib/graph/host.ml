@@ -1,0 +1,56 @@
+type t =
+  | Complete of int
+  | Restricted of { size : int; allowed : bool array array }
+
+let complete n =
+  if n < 0 then invalid_arg "Host.complete";
+  Complete n
+
+let of_graph g =
+  let size = Graph.n g in
+  let allowed = Array.init size (fun _ -> Array.make size false) in
+  Graph.iter_edges
+    (fun u v _ ->
+      allowed.(u).(v) <- true;
+      allowed.(v).(u) <- true)
+    g;
+  Restricted { size; allowed }
+
+let without n forbidden =
+  if n < 0 then invalid_arg "Host.without";
+  let allowed = Array.init n (fun _ -> Array.make n true) in
+  for v = 0 to n - 1 do
+    allowed.(v).(v) <- false
+  done;
+  List.iter
+    (fun (u, v) ->
+      if u = v || u < 0 || v < 0 || u >= n || v >= n then
+        invalid_arg "Host.without: bad pair";
+      allowed.(u).(v) <- false;
+      allowed.(v).(u) <- false)
+    forbidden;
+  Restricted { size = n; allowed }
+
+let n = function Complete size -> size | Restricted { size; _ } -> size
+
+let allows t u v =
+  let size = n t in
+  if u < 0 || v < 0 || u >= size || v >= size then
+    invalid_arg "Host.allows: vertex out of range";
+  u <> v
+  && match t with Complete _ -> true | Restricted { allowed; _ } -> allowed.(u).(v)
+
+let is_complete = function
+  | Complete _ -> true
+  | Restricted { size; allowed } ->
+      let ok = ref true in
+      for u = 0 to size - 1 do
+        for v = 0 to size - 1 do
+          if u <> v && not allowed.(u).(v) then ok := false
+        done
+      done;
+      !ok
+
+let subgraph_ok t g =
+  n t = Graph.n g
+  && Graph.fold_edges (fun u v _ acc -> acc && allows t u v) g true

@@ -1,0 +1,29 @@
+(** Host graphs: the set of buildable edges.
+
+    Corollaries 3.6 and 4.2 play the games on a {e non-complete host graph}
+    [H]: agents may only create edges that exist in [H].  The default
+    everywhere is the complete host graph. *)
+
+type t
+
+val complete : int -> t
+(** Every edge is allowed. *)
+
+val of_graph : Graph.t -> t
+(** Allowed edges are exactly the edges of the given graph (ownership is
+    ignored). *)
+
+val without : int -> (int * int) list -> t
+(** [without n forbidden] is the complete host graph on [n] vertices minus
+    the listed pairs — the form used in the paper's corollaries.
+    @raise Invalid_argument on self-pairs or out-of-range vertices. *)
+
+val allows : t -> int -> int -> bool
+(** Whether the edge [{u, v}] may exist.  Self-pairs are never allowed. *)
+
+val n : t -> int
+
+val is_complete : t -> bool
+
+val subgraph_ok : t -> Graph.t -> bool
+(** Whether every edge of the network is allowed by the host graph. *)

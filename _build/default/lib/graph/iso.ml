@@ -1,0 +1,108 @@
+(* Per-vertex invariant used to prune the search: degree, owned degree (when
+   ownership matters) and the sorted multiset of neighbor degrees. *)
+let signature ~respect_ownership g v =
+  let nbr_degrees =
+    List.sort compare (List.map (Graph.degree g) (Graph.neighbors g v))
+  in
+  let own = if respect_ownership then Graph.owned_degree g v else 0 in
+  (Graph.degree g v, own, nbr_degrees)
+
+let compatible ~respect_ownership g h mapping u v =
+  (* u in g is tentatively mapped to v in h; check consistency against all
+     previously mapped vertices. *)
+  let ok = ref true in
+  Array.iteri
+    (fun u' v' ->
+      if v' >= 0 && !ok then begin
+        let e_g = Graph.has_edge g u u' and e_h = Graph.has_edge h v v' in
+        if e_g <> e_h then ok := false
+        else if e_g && respect_ownership then begin
+          let owner_g = Graph.owner g u u' in
+          let owner_h = Graph.owner h v v' in
+          let expected = if owner_g = u then v else v' in
+          if owner_h <> expected then ok := false
+        end
+      end)
+    mapping;
+  !ok
+
+let find ?(respect_ownership = true) g h =
+  let n = Graph.n g in
+  if n <> Graph.n h || Graph.m g <> Graph.m h then None
+  else begin
+    let sig_g = Array.init n (signature ~respect_ownership g) in
+    let sig_h = Array.init n (signature ~respect_ownership h) in
+    if
+      List.sort compare (Array.to_list sig_g)
+      <> List.sort compare (Array.to_list sig_h)
+    then None
+    else begin
+      let mapping = Array.make n (-1) in
+      let used = Array.make n false in
+      (* Assign most-constrained (rarest signature) vertices first. *)
+      let rarity s =
+        Array.fold_left (fun c t -> if t = s then c + 1 else c) 0 sig_h
+      in
+      let order =
+        List.sort
+          (fun a b -> compare (rarity sig_g.(a)) (rarity sig_g.(b)))
+          (Graph.vertices g)
+      in
+      let rec solve = function
+        | [] -> true
+        | u :: rest ->
+            let rec try_targets v =
+              if v >= n then false
+              else if
+                (not used.(v))
+                && sig_g.(u) = sig_h.(v)
+                && compatible ~respect_ownership g h mapping u v
+              then begin
+                mapping.(u) <- v;
+                used.(v) <- true;
+                if solve rest then true
+                else begin
+                  mapping.(u) <- -1;
+                  used.(v) <- false;
+                  try_targets (v + 1)
+                end
+              end
+              else try_targets (v + 1)
+            in
+            try_targets 0
+      in
+      if solve order then Some mapping else None
+    end
+  end
+
+let equal ?(respect_ownership = true) g h =
+  find ~respect_ownership g h <> None
+
+let apply g f =
+  let n = Graph.n g in
+  if Array.length f <> n then invalid_arg "Iso.apply: size mismatch";
+  let seen = Array.make n false in
+  Array.iter
+    (fun v ->
+      if v < 0 || v >= n || seen.(v) then
+        invalid_arg "Iso.apply: not a permutation";
+      seen.(v) <- true)
+    f;
+  let h = Graph.create n in
+  Graph.iter_edges
+    (fun u v o ->
+      Graph.add_edge h ~owner:f.(o) f.(u) f.(v))
+    g;
+  h
+
+let unowned_edge_set g =
+  List.sort compare (List.map (fun (u, v, _) -> (u, v)) (Graph.edges g))
+
+let is_automorphism ?(respect_ownership = true) g f =
+  Array.length f = Graph.n g
+  &&
+  match apply g f with
+  | h ->
+      if respect_ownership then Graph.equal g h
+      else unowned_edge_set g = unowned_edge_set h
+  | exception Invalid_argument _ -> false

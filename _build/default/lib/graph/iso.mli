@@ -1,0 +1,28 @@
+(** Ownership-aware graph isomorphism.
+
+    The paper's best-response cycles typically return to a network that is
+    {e isomorphic} to the starting one (agents trade places); verifying a
+    cycle therefore needs isomorphism rather than equality.  Isomorphisms
+    here map vertices bijectively so that edges map to edges; with
+    [~respect_ownership:true] (the default) edge owners must map to edge
+    owners, which is the right notion for the asymmetric and buy games.
+    Swap Games and bilateral games ignore ownership, so they pass
+    [~respect_ownership:false].
+
+    The solver is a degree-refined backtracking search — more than fast
+    enough for the gadgets of this paper (at most ~25 vertices). *)
+
+val find :
+  ?respect_ownership:bool -> Graph.t -> Graph.t -> int array option
+(** [find g h] is [Some f] where [f.(u)] is the image in [h] of vertex [u]
+    of [g], or [None] if the graphs are not isomorphic. *)
+
+val equal : ?respect_ownership:bool -> Graph.t -> Graph.t -> bool
+
+val is_automorphism : ?respect_ownership:bool -> Graph.t -> int array -> bool
+(** Check a candidate vertex mapping of a graph onto itself. *)
+
+val apply : Graph.t -> int array -> Graph.t
+(** [apply g f] relabels [g] through the bijection [f] (owners follow their
+    edges).
+    @raise Invalid_argument if [f] is not a permutation of the vertices. *)

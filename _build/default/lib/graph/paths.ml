@@ -1,0 +1,139 @@
+type profile = { reached : int; sum : int; ecc : int }
+
+module Workspace = struct
+  type t = {
+    dist : int array;
+    queue : int array;
+    mutable stamp : int;
+    stamps : int array;
+        (* stamps.(v) = stamp marks v visited in the current BFS; bumping the
+           stamp resets the whole workspace in O(1). *)
+  }
+
+  let create max_n =
+    if max_n < 0 then invalid_arg "Paths.Workspace.create";
+    {
+      dist = Array.make (max 1 max_n) 0;
+      queue = Array.make (max 1 max_n) 0;
+      stamp = 0;
+      stamps = Array.make (max 1 max_n) 0;
+    }
+
+  let profile_within ws g source keep =
+    let n = Graph.n g in
+    if n > Array.length ws.dist then
+      invalid_arg "Paths.Workspace: graph larger than workspace";
+    if source < 0 || source >= n then invalid_arg "Paths.profile: source";
+    if not (keep source) then
+      invalid_arg "Paths.profile_within: source excluded";
+    ws.stamp <- ws.stamp + 1;
+    let stamp = ws.stamp in
+    ws.stamps.(source) <- stamp;
+    ws.dist.(source) <- 0;
+    ws.queue.(0) <- source;
+    let head = ref 0 and tail = ref 1 in
+    let sum = ref 0 and ecc = ref 0 in
+    while !head < !tail do
+      let u = ws.queue.(!head) in
+      incr head;
+      let du = ws.dist.(u) in
+      let visit v =
+        if ws.stamps.(v) <> stamp && keep v then begin
+          ws.stamps.(v) <- stamp;
+          ws.dist.(v) <- du + 1;
+          sum := !sum + du + 1;
+          if du + 1 > !ecc then ecc := du + 1;
+          ws.queue.(!tail) <- v;
+          incr tail
+        end
+      in
+      List.iter visit (Graph.neighbors g u)
+    done;
+    { reached = !tail; sum = !sum; ecc = !ecc }
+
+  let profile ws g source = profile_within ws g source (fun _ -> true)
+end
+
+let profile g source =
+  let ws = Workspace.create (Graph.n g) in
+  Workspace.profile ws g source
+
+let distances g source =
+  let n = Graph.n g in
+  if source < 0 || source >= n then invalid_arg "Paths.distances: source";
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(source) <- 0;
+  Queue.add source queue;
+  while not (Queue.is_empty queue) do
+    let u = Queue.pop queue in
+    let du = dist.(u) in
+    let visit v =
+      if dist.(v) < 0 then begin
+        dist.(v) <- du + 1;
+        Queue.add v queue
+      end
+    in
+    List.iter visit (Graph.neighbors g u)
+  done;
+  dist
+
+let distance g u v = (distances g u).(v)
+
+let all_pairs g = Array.init (Graph.n g) (fun u -> distances g u)
+
+let is_connected g =
+  let n = Graph.n g in
+  n <= 1 || (profile g 0).reached = n
+
+let eccentricities g =
+  let n = Graph.n g in
+  if n = 0 then Some [||]
+  else
+    let ecc = Array.make n 0 in
+    let connected = ref true in
+    for u = 0 to n - 1 do
+      let p = profile g u in
+      if p.reached < n then connected := false;
+      ecc.(u) <- p.ecc
+    done;
+    if !connected then Some ecc else None
+
+let diameter g =
+  match eccentricities g with
+  | None -> None
+  | Some [||] -> Some 0
+  | Some ecc -> Some (Array.fold_left max 0 ecc)
+
+let radius g =
+  match eccentricities g with
+  | None -> None
+  | Some [||] -> Some 0
+  | Some ecc -> Some (Array.fold_left min max_int ecc)
+
+let center g =
+  match eccentricities g with
+  | None -> []
+  | Some [||] -> []
+  | Some ecc ->
+      let r = Array.fold_left min max_int ecc in
+      List.filter (fun v -> ecc.(v) = r) (Graph.vertices g)
+
+let components g =
+  let n = Graph.n g in
+  let seen = Array.make n false in
+  let comps = ref [] in
+  for u = 0 to n - 1 do
+    if not seen.(u) then begin
+      let dist = distances g u in
+      let comp = ref [] in
+      for v = n - 1 downto 0 do
+        if dist.(v) >= 0 then begin
+          seen.(v) <- true;
+          comp := v :: !comp
+        end
+      done;
+      comps := !comp :: !comps
+    end
+  done;
+  List.rev !comps

@@ -1,0 +1,64 @@
+(** Shortest-path machinery for ownership graphs.
+
+    All game costs in this library reduce to single-source BFS: the SUM
+    distance-cost of an agent is the total distance to all vertices, the MAX
+    distance-cost is the eccentricity, and a disconnected network costs
+    infinity.  [profile] computes all three quantities in one pass; the
+    {!Workspace} variant reuses scratch buffers so the inner loop of the
+    dynamics engine allocates nothing. *)
+
+type profile = {
+  reached : int;  (** number of vertices reachable from the source,
+                      including the source itself *)
+  sum : int;  (** sum of distances to reached vertices *)
+  ecc : int;  (** max distance to a reached vertex; 0 for a lone vertex *)
+}
+
+val profile : Graph.t -> int -> profile
+(** BFS from one source.  [reached < Graph.n g] signals disconnection. *)
+
+val distances : Graph.t -> int -> int array
+(** [distances g u].(v) is [d_G(u, v)], or [-1] if unreachable. *)
+
+val distance : Graph.t -> int -> int -> int
+(** Pairwise distance, [-1] if unreachable. *)
+
+val all_pairs : Graph.t -> int array array
+(** [n] BFS passes; [-1] marks unreachable pairs. *)
+
+val is_connected : Graph.t -> bool
+
+val eccentricities : Graph.t -> int array option
+(** Per-vertex eccentricity; [None] if the graph is disconnected. *)
+
+val diameter : Graph.t -> int option
+(** [None] if disconnected.  The diameter of a single vertex is 0. *)
+
+val radius : Graph.t -> int option
+
+val center : Graph.t -> int list
+(** Vertices of minimum eccentricity ({i 1-center} vertices, used by the
+    best-swap characterisation of Observation 2.13).  Empty if the graph is
+    disconnected. *)
+
+val components : Graph.t -> int list list
+(** Connected components, each sorted ascending, ordered by smallest
+    member. *)
+
+(** Allocation-free BFS for hot loops.  A workspace is single-threaded
+    scratch state; create one per domain. *)
+module Workspace : sig
+  type t
+
+  val create : int -> t
+  (** [create max_n] serves any graph with at most [max_n] vertices. *)
+
+  val profile : t -> Graph.t -> int -> profile
+  (** Same result as {!val:Paths.profile} without allocating. *)
+
+  val profile_within : t -> Graph.t -> int -> (int -> bool) -> profile
+  (** [profile_within ws g u keep] restricts the BFS to the vertex-induced
+      subgraph on [{ v | keep v }]; [u] itself must satisfy [keep].  Used to
+      evaluate median/center queries on [G - S] without rebuilding the
+      graph. *)
+end

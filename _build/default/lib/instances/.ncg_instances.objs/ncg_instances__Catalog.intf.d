@@ -1,0 +1,1 @@
+lib/instances/catalog.mli: Instance

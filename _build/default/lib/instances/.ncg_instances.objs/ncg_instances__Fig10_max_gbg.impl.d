@@ -1,0 +1,1 @@
+lib/instances/fig10_max_gbg.ml: Cost Graph Host Instance List Model Move Ncg_rational String

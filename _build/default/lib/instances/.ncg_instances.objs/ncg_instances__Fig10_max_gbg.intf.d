@@ -1,0 +1,1 @@
+lib/instances/fig10_max_gbg.mli: Graph Host Instance Model Ncg_rational

@@ -1,0 +1,1 @@
+lib/instances/fig15_sum_bilateral.ml: Cost Graph Instance Model Move Ncg_rational String

@@ -1,0 +1,1 @@
+lib/instances/fig15_sum_bilateral.mli: Graph Instance Model Ncg_rational

@@ -1,0 +1,1 @@
+lib/instances/fig16_max_bilateral.ml: Cost Graph Instance Model Move Ncg_rational String

@@ -1,0 +1,1 @@
+lib/instances/fig16_max_bilateral.mli: Graph Instance Model Ncg_rational

@@ -1,0 +1,1 @@
+lib/instances/fig2_max_sg.ml: Array Cost Graph Instance Model Move

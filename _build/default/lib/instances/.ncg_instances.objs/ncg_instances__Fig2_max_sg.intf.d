@@ -1,0 +1,1 @@
+lib/instances/fig2_max_sg.mli: Graph Instance Model

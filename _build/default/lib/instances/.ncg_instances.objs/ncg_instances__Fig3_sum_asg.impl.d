@@ -1,0 +1,1 @@
+lib/instances/fig3_sum_asg.ml: Array Cost Graph Host Instance List Model Move Printf

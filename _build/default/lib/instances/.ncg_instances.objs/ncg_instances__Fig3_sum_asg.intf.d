@@ -1,0 +1,1 @@
+lib/instances/fig3_sum_asg.mli: Graph Host Instance Model

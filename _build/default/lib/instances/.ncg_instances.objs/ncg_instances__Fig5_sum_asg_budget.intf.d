@@ -1,0 +1,1 @@
+lib/instances/fig5_sum_asg_budget.mli: Graph Instance Model

@@ -1,0 +1,1 @@
+lib/instances/fig6_max_asg_budget.ml: Array Cost Graph Instance List Model Move

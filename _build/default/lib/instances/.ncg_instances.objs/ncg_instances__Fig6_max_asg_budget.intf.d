@@ -1,0 +1,1 @@
+lib/instances/fig6_max_asg_budget.mli: Graph Instance Model

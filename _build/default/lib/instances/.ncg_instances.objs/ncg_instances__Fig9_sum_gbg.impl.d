@@ -1,0 +1,1 @@
+lib/instances/fig9_sum_gbg.ml: Cost Graph Host Instance List Model Move Ncg_rational String

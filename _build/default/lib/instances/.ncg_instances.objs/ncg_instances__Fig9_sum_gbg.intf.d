@@ -1,0 +1,1 @@
+lib/instances/fig9_sum_gbg.mli: Graph Host Instance Model Ncg_rational

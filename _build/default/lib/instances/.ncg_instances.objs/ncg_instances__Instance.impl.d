@@ -1,0 +1,1 @@
+lib/instances/instance.ml: Agents Canonical Cost Format Graph Iso List Model Move Printf Response Seq String

@@ -1,0 +1,1 @@
+lib/instances/instance.mli: Cost Format Graph Model Move

@@ -1,0 +1,19 @@
+let all =
+  [
+    Fig2_max_sg.instance;
+    Fig3_sum_asg.instance;
+    Fig3_sum_asg.host_instance;
+    Fig5_sum_asg_budget.instance;
+    Fig6_max_asg_budget.instance;
+    Fig9_sum_gbg.instance;
+    Fig9_sum_gbg.host_instance;
+    Fig10_max_gbg.instance;
+    Fig10_max_gbg.host_instance;
+    Fig15_sum_bilateral.instance;
+    Fig16_max_bilateral.instance;
+  ]
+
+let find name =
+  List.find_opt (fun i -> i.Instance.name = name) all
+
+let names () = List.map (fun i -> i.Instance.name) all

@@ -1,0 +1,13 @@
+(** The shipped gadget collection.
+
+    One entry per hardness construction reproduced from the paper, ready
+    for bulk verification by tests, the [ncg_verify] executable and the
+    bench harness. *)
+
+val all : Instance.t list
+(** Every shipped instance, in paper order. *)
+
+val find : string -> Instance.t option
+(** Lookup by instance name (e.g. ["fig9-sum-gbg"]). *)
+
+val names : unit -> string list

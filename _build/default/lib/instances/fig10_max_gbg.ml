@@ -1,0 +1,104 @@
+(* Figure 10 / Theorem 4.1, MAX version: a best-response cycle for the
+   MAX-(G)BG with 1 < alpha < 2.
+
+   The base network H is the path g-f-d-c-b-a with e and h pendant on d;
+   agents g and e own nothing in H.  The cycle follows the proof exactly:
+
+     G1 = H            g buys ga   (cost 5        -> 3 + alpha)
+     G2 = H + ga       e buys ea   (cost 4        -> 2 + alpha)
+     G3 = H + ga + ea  g drops ga  (cost 3+alpha  -> 4)
+     G4 = H + ea       e drops ea  (cost 3+alpha  -> 4)
+
+   The drawing in the paper does not fix H's edge set; we enumerated all
+   connected 8-vertex base graphs and kept those satisfying every
+   eccentricity and best-response claim of the proof (there are exactly
+   three for 7 edges; this is the first).  As with the SUM version, the
+   host-graph variant of Corollary 4.2 does not literally have a unique
+   improving move per state — owners of path edges can profitably delete
+   them once the ga/ea chords exist — but exhaustive state-space search
+   (Ncg_search.Statespace) shows no improving path from G1 reaches a
+   stable network, which is the corollary's actual conclusion. *)
+
+module Q = Ncg_rational.Q
+
+let a = 0
+let b = 1
+let c = 2
+let d = 3
+let e = 4
+let f = 5
+let g = 6
+let h = 7
+
+let label v = String.make 1 "abcdefgh".[v]
+
+let alpha = Q.make 3 2 (* the midpoint of (1, 2) *)
+
+let initial () =
+  let net = Graph.create 8 in
+  List.iter
+    (fun (u, v, o) -> Graph.add_edge net ~owner:o u v)
+    [ (f, g, f); (d, e, d); (a, b, b); (d, h, h); (d, f, f); (c, d, d);
+      (b, c, c) ];
+  net
+
+let model ?host () = Model.make ~alpha ?host Model.Gbg Model.Max 8
+
+let steps =
+  let open Instance in
+  [
+    {
+      move = Move.Buy { agent = g; target = a };
+      claims =
+        [ Cost_of (g, Cost.connected ~edge_units:0 ~dist:5);
+          Is_improving; Is_best_response ];
+    };
+    {
+      move = Move.Buy { agent = e; target = a };
+      claims =
+        [ Cost_of (e, Cost.connected ~edge_units:0 ~dist:4);
+          Is_improving; Is_best_response ];
+    };
+    {
+      move = Move.Delete { agent = g; target = a };
+      claims =
+        [ Cost_of (g, Cost.connected ~edge_units:1 ~dist:3);
+          Is_improving; Is_best_response ];
+    };
+    {
+      move = Move.Delete { agent = e; target = a };
+      claims =
+        [ Cost_of (e, Cost.connected ~edge_units:1 ~dist:3);
+          Is_improving; Is_best_response ];
+    };
+  ]
+
+let instance =
+  Instance.make ~name:"fig10-max-gbg"
+    ~description:
+      "Fig. 10 / Thm 4.1 (MAX): best-response cycle of the MAX-(G)BG, \
+       1 < alpha < 2"
+    ~model:(model ()) ~label ~initial:(initial ()) ~steps
+    ~closure:Instance.Exact
+
+(* Corollary 4.2, MAX version: host graph G1 + ag + ae. *)
+let host () =
+  let hg = Graph.copy (initial ()) in
+  Graph.add_edge hg ~owner:g g a;
+  Graph.add_edge hg ~owner:e e a;
+  Host.of_graph hg
+
+let host_model = model ~host:(host ()) ()
+
+let host_instance =
+  Instance.make ~name:"cor42-max-gbg-host"
+    ~description:
+      "Cor. 4.2 (MAX): on host graph G1+ag+ae the MAX-(G)BG cycle closes \
+       and no improving path stabilises (checked exhaustively)"
+    ~model:host_model ~label ~initial:(initial ())
+    ~steps:
+      (List.map
+         (fun (s : Instance.step) ->
+           { s with Instance.claims = [ Instance.Is_best_response ] })
+         steps)
+    ~closure:Instance.Exact

@@ -1,0 +1,83 @@
+(* Figure 15 / Theorem 5.1: the SUM bilateral equal-split Buy Game is not
+   weakly acyclic, for 10 < alpha < 12.
+
+   G0 has core a-b-c-d-e (pentagon-ish: ab, bc, cd, de, ea) with leaves
+   f on a, g on c, h and i on d, j and k on e.  Strategies (neighbor sets)
+   as the proof lists them: a:{b,e,f}, b:{a,c}, c:{b,d,g}, d:{c,e,h,i},
+   e:{a,d,j,k}.  The cyclic sequence: a (or symmetrically c) deletes her
+   edge to b; then b, f or g each have one feasible improving move, all
+   leading to the same state up to isomorphism — we play b's move {c} ->
+   {c,f}; then e's unique feasible improving move {a,d,j,k} -> {d,f,j,k}
+   returns to a network isomorphic to G0.  No sequence of improving moves
+   ever stabilises. *)
+
+module Q = Ncg_rational.Q
+
+let a = 0
+let b = 1
+let c = 2
+let d = 3
+let e = 4
+let f = 5
+let g = 6
+let h = 7
+let i = 8
+let j = 9
+let k = 10
+
+let label v = String.make 1 "abcdefghijk".[v]
+
+let alpha = Q.of_int 11 (* the midpoint of (10, 12) *)
+
+let initial () =
+  Graph.of_unowned_edges 11
+    [ (a, b); (a, e); (a, f); (b, c); (c, d); (c, g); (d, e); (d, h);
+      (d, i); (e, j); (e, k) ]
+
+let model () = Model.make ~alpha Model.Bilateral Model.Sum 11
+
+let steps =
+  let open Instance in
+  [
+    {
+      (* a's only feasible improving move: drop the edge to b. *)
+      move = Move.Set_neighbors { agent = a; targets = [ e; f ] };
+      claims =
+        [ Unhappy_exactly [ a; c ];
+          Cost_of (a, Cost.connected ~edge_units:3 ~dist:20);
+          Cost_of (b, Cost.connected ~edge_units:2 ~dist:22);
+          Cost_of (d, Cost.connected ~edge_units:4 ~dist:17);
+          Cost_of (e, Cost.connected ~edge_units:4 ~dist:17);
+          Only_improving_move;
+          (* b's better strategy {d} is blocked by d (proof of G0). *)
+          Blocked (b, Move.Set_neighbors { agent = b; targets = [ d ] }) ];
+    };
+    {
+      (* b's unique feasible improving move: buy the edge to f. *)
+      move = Move.Set_neighbors { agent = b; targets = [ c; f ] };
+      claims =
+        [ Unhappy_exactly [ b; f; g ];
+          Only_improving_move;
+          (* b's stronger strategy {a,c} is blocked by a. *)
+          Blocked (b, Move.Set_neighbors { agent = b; targets = [ a; c ] }) ];
+    };
+    {
+      (* e's unique feasible improving move: trade a for f. *)
+      move = Move.Set_neighbors { agent = e; targets = [ d; f; j; k ] };
+      claims =
+        [ Unhappy_exactly [ e ];
+          Cost_of (e, Cost.connected ~edge_units:4 ~dist:18);
+          Only_improving_move;
+          (* e's best three-edge strategy {c,j,k} is blocked by c. *)
+          Blocked (e, Move.Set_neighbors { agent = e; targets = [ c; j; k ] })
+        ];
+    };
+  ]
+
+let instance =
+  Instance.make ~name:"fig15-sum-bilateral"
+    ~description:
+      "Fig. 15 / Thm 5.1: SUM bilateral equal-split BG is not weakly \
+       acyclic, 10 < alpha < 12"
+    ~model:(model ()) ~label ~initial:(initial ()) ~steps
+    ~closure:Instance.Isomorphic

@@ -1,0 +1,80 @@
+(* Figure 16 / Theorem 5.2: a best-response cycle of the MAX bilateral
+   equal-split Buy Game, for 2 < alpha < 4.
+
+   The constant edges are ab, bc, bg, gf, fe, ed, eh; agent a toggles the
+   edge ae and agent c toggles cd:
+
+     G1 = base + cd          a buys ae    (cost alpha/2+5 -> 2*alpha/2+2)
+     G2 = base + cd + ae     c drops cd   (2*alpha/2+3 -> alpha/2+4)
+     G3 = base + ae          e drops ea   (4*alpha/2+3 -> 3*alpha/2+4)
+     G4 = base               c buys cd    (alpha/2+5 -> 2*alpha/2+3)
+
+   and we are back at G1 exactly. *)
+
+module Q = Ncg_rational.Q
+
+let a = 0
+let b = 1
+let c = 2
+let d = 3
+let e = 4
+let f = 5
+let g = 6
+let h = 7
+
+let label v = String.make 1 "abcdefgh".[v]
+
+let alpha = Q.of_int 3 (* the midpoint of (2, 4) *)
+
+let initial () =
+  Graph.of_unowned_edges 8
+    [ (a, b); (b, c); (c, d); (b, g); (g, f); (f, e); (e, d); (e, h) ]
+
+let model () = Model.make ~alpha Model.Bilateral Model.Max 8
+
+let steps =
+  let open Instance in
+  [
+    {
+      move = Move.Set_neighbors { agent = a; targets = [ b; e ] };
+      claims =
+        [ Cost_of (a, Cost.connected ~edge_units:1 ~dist:5);
+          Cost_of (e, Cost.connected ~edge_units:3 ~dist:4);
+          Is_improving; Is_best_response ];
+    };
+    {
+      move = Move.Set_neighbors { agent = c; targets = [ b ] };
+      claims =
+        [ Cost_of (c, Cost.connected ~edge_units:2 ~dist:3);
+          Is_improving; Is_best_response;
+          (* c's cheaper strategies through e are blocked by e. *)
+          Blocked (c, Move.Set_neighbors { agent = c; targets = [ e ] });
+          Blocked (c, Move.Set_neighbors { agent = c; targets = [ b; e ] }) ];
+    };
+    {
+      move = Move.Set_neighbors { agent = e; targets = [ d; f; h ] };
+      claims =
+        [ Cost_of (e, Cost.connected ~edge_units:4 ~dist:3);
+          Is_improving; Is_best_response;
+          (* e's three-edge strategies through b or g are blocked. *)
+          Blocked
+            (e, Move.Set_neighbors { agent = e; targets = [ b; d; h ] });
+          Blocked
+            (e, Move.Set_neighbors { agent = e; targets = [ d; g; h ] }) ];
+    };
+    {
+      move = Move.Set_neighbors { agent = c; targets = [ b; d ] };
+      claims =
+        [ Cost_of (c, Cost.connected ~edge_units:1 ~dist:5);
+          Is_improving; Is_best_response;
+          Blocked (c, Move.Set_neighbors { agent = c; targets = [ b; e ] }) ];
+    };
+  ]
+
+let instance =
+  Instance.make ~name:"fig16-max-bilateral"
+    ~description:
+      "Fig. 16 / Thm 5.2: best-response cycle of the MAX bilateral \
+       equal-split BG, 2 < alpha < 4"
+    ~model:(model ()) ~label ~initial:(initial ()) ~steps
+    ~closure:Instance.Exact

@@ -1,0 +1,59 @@
+(* Figure 2 / Theorem 2.16: a best-response cycle for the MAX-SG on general
+   networks where every state has exactly ONE unhappy agent — so no move
+   policy can enforce convergence.
+
+   The figure's drawing does not pin down its edge set, but its symmetry
+   does: the nine agents a1..a3, b1..b3, c1..c3 carry a Z3-symmetric base
+   graph B (invariant under a->b->c->a) plus two edges of the rotating
+   triangle {a1b1, b1c1, c1a1}.  We enumerated all 2^11 orbit-unions for B
+   and kept those where, in G1 = B + {a1b1, b1c1}: exactly a1, a3, b3, c3
+   have eccentricity 3 and the rest 2 (as the proof states), a1 is the only
+   unhappy agent, and her swap a1b1 -> a1c1 is a best response.  The
+   instance below is such a witness; each swap advances the state by the
+   rotation, and three swaps restore G1 exactly. *)
+
+let a1 = 0
+let a2 = 1
+let a3 = 2
+let b1 = 3
+let b2 = 4
+let b3 = 5
+let c1 = 6
+let c2 = 7
+let c3 = 8
+
+let label v = [| "a1"; "a2"; "a3"; "b1"; "b2"; "b3"; "c1"; "c2"; "c3" |].(v)
+
+let initial () =
+  Graph.of_unowned_edges 9
+    [ (* Z3-symmetric base: orbits of a1a3, a2a3, a1b2, a2b2 *)
+      (a1, a3); (b1, b3); (c1, c3);
+      (a2, a3); (b2, b3); (c2, c3);
+      (a1, b2); (b1, c2); (c1, a2);
+      (a2, b2); (b2, c2); (c2, a2);
+      (* two edges of the rotating triangle *)
+      (a1, b1); (b1, c1) ]
+
+let model () = Model.make Model.Sg Model.Max 9
+
+let swap_step agent remove add =
+  {
+    Instance.move = Move.Swap { agent; remove; add };
+    claims =
+      [ Instance.Unhappy_exactly [ agent ];
+        Instance.Cost_of (agent, Cost.connected ~edge_units:0 ~dist:3);
+        Instance.Is_best_response; Instance.Is_improving;
+        Instance.No_better_multi_swap ];
+  }
+
+let steps =
+  [ swap_step a1 b1 c1; swap_step b1 c1 a1; swap_step c1 a1 b1 ]
+
+let instance =
+  Instance.make ~name:"fig2-max-sg"
+    ~description:
+      "Fig. 2 / Thm 2.16: best-response cycle of the MAX-SG with a unique \
+       unhappy agent in every state (no policy can enforce convergence); \
+       single swaps remain optimal even against multi-swaps"
+    ~model:(model ()) ~label ~initial:(initial ()) ~steps
+    ~closure:Instance.Exact

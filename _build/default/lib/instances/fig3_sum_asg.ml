@@ -1,0 +1,104 @@
+(* Figure 3 / Theorem 3.3: the SUM-ASG is not weakly acyclic under best
+   response — even with multi-swaps.
+
+   Core agents a..f carry leaf groups: a1..a4 on a, c1..c5 on c, d1 on d,
+   e1..e5 on e, f1..f3 on f (hubs own their leaf edges).  Core ownership as
+   drawn in the paper: a owns ae; b owns bc, be and one free edge (bf in
+   G1); d owns d1, da, dc, de; f owns its leaves and one free non-bridge
+   edge (fd in G1).  The four-step best-response cycle:
+
+     G1  f: fd -> fe   (cost 55 -> 51, decrease 4)
+     G2  b: bf -> ba   (48 -> 47, decrease 1)
+     G3  f: fe -> fd   (58 -> 57, decrease 1)
+     G4  b: ba -> bf   (51 -> 48, decrease 3)
+
+   In every state exactly one agent is unhappy and her best response is
+   unique, so no best-response sequence can ever stabilise. *)
+
+let a = 0
+let b = 1
+let c = 2
+let d = 3
+let e = 4
+let f = 5
+
+let core_names = [| "a"; "b"; "c"; "d"; "e"; "f" |]
+
+(* leaves: a1..a4 = 6..9, c1..c5 = 10..14, d1 = 15, e1..e5 = 16..20,
+   f1..f3 = 21..23 *)
+let label v =
+  if v < 6 then core_names.(v)
+  else if v < 10 then Printf.sprintf "a%d" (v - 5)
+  else if v < 15 then Printf.sprintf "c%d" (v - 9)
+  else if v = 15 then "d1"
+  else if v < 21 then Printf.sprintf "e%d" (v - 15)
+  else Printf.sprintf "f%d" (v - 20)
+
+let n = 24
+
+let initial () =
+  let leaf_edges =
+    List.init 4 (fun i -> (a, 6 + i))
+    @ List.init 5 (fun i -> (c, 10 + i))
+    @ [ (d, 15) ]
+    @ List.init 5 (fun i -> (e, 16 + i))
+    @ List.init 3 (fun i -> (f, 21 + i))
+  in
+  Graph.of_edges n
+    ([ (a, e); (b, c); (b, e); (b, f); (d, a); (d, c); (d, e); (f, d) ]
+    @ leaf_edges)
+
+let model ?host () = Model.make ?host Model.Asg Model.Sum n
+
+let steps =
+  let open Instance in
+  let step agent remove add cost =
+    {
+      move = Move.Swap { agent; remove; add };
+      claims =
+        [ Unhappy_exactly [ agent ];
+          Cost_of (agent, Cost.connected ~edge_units:0 ~dist:cost);
+          Is_unique_best_response; No_better_multi_swap ];
+    }
+  in
+  [ step f d e 55; step b f a 48; step f e d 58; step b a f 51 ]
+
+let instance =
+  Instance.make ~name:"fig3-sum-asg"
+    ~description:
+      "Fig. 3 / Thm 3.3: SUM-ASG best-response cycle with a unique unhappy \
+       agent and unique best response in every state — not weakly acyclic \
+       under best response, even with multi-swaps"
+    ~model:(model ()) ~label ~initial:(initial ()) ~steps
+    ~closure:Instance.Exact
+
+(* Corollary 3.6, SUM version: complete host graph minus the edge {a, f}.
+
+   The paper claims the moving agent has exactly one improving move in
+   every state; machine-checking shows agent b has six improving moves in
+   G4 (her best response is still unique).  The states' unique unhappy
+   agents and unique best responses are verified below; the "not weakly
+   acyclic" conclusion for arbitrary improving moves is checked by
+   exhaustive state-space exploration in the test suite. *)
+let host () = Host.without n [ (a, f) ]
+
+let host_model = model ~host:(host ()) ()
+
+let host_instance =
+  Instance.make ~name:"cor36-sum-asg-host"
+    ~description:
+      "Cor. 3.6 (SUM): on the complete host graph minus {a,f} the SUM-ASG \
+       best-response cycle persists — unique unhappy agent and unique \
+       best response in every state"
+    ~model:host_model ~label ~initial:(initial ())
+    ~steps:
+      (List.map
+         (fun (s : Instance.step) ->
+           {
+             s with
+             Instance.claims =
+               [ Instance.Unhappy_exactly [ Move.agent s.Instance.move ];
+                 Instance.Is_unique_best_response ];
+           })
+         steps)
+    ~closure:Instance.Exact

@@ -1,0 +1,9 @@
+(** Figure 5 / Theorem 3.7 (SUM): cyclic improving-move dynamics of the
+    SUM-ASG at uniform unit budget (search-rediscovered witness; the
+    moves are strict improvements, not all best responses — see
+    EXPERIMENTS.md). *)
+
+val label : int -> string
+val initial : unit -> Graph.t
+val model : unit -> Model.t
+val instance : Instance.t

@@ -1,0 +1,79 @@
+(* Figure 6 / Theorem 3.7, MAX version: a best-response cycle of the
+   MAX-ASG on a network where every agent owns exactly ONE edge — the
+   uniform unit-budget case, answering Ehsani et al.'s open problem in the
+   negative.
+
+   Reconstructed from the proof's metric facts: the ownership function has
+   the unique directed cycle a1 -> e1 -> b3 -> b2 -> b1 -> a1; chains
+   a1-a2-...-a6 and e1-e2-...-e6 hang off a1 and e1, b4 off b3, the path
+   d1-d2-d3 off b2, and c1 off b4.  The four steps match the proof:
+
+     G1  a1: e1 -> e5   (eccentricity 6 -> 5; e2..e5 all tie, as stated)
+     G2  b1: a1 -> a3   (6 -> 5; a2 ties — "swap to a2 or a3")
+     G3  a1: e5 -> e1   (7 -> 6; e1, e2, e3 tie; the undirected cycle in
+                         G2 has length 9, exactly as the proof counts)
+     G4  b1: a3 -> a1   (8 -> 7; a1 and e1 tie)
+
+   and return to G1 exactly. *)
+
+let a1 = 0
+let a3 = 2
+let b1 = 6
+let b2 = 7
+let b3 = 8
+let b4 = 9
+let c1 = 10
+let d1 = 11
+let e1 = 14
+let e5 = 18
+
+let label v =
+  [| "a1"; "a2"; "a3"; "a4"; "a5"; "a6"; "b1"; "b2"; "b3"; "b4"; "c1";
+     "d1"; "d2"; "d3"; "e1"; "e2"; "e3"; "e4"; "e5"; "e6" |].(v)
+
+let initial () =
+  Graph.of_edges 20
+    ([ (a1, e1); (b1, a1); (e1, b3); (d1, b2); (c1, b4) ]
+    @ List.init 5 (fun i -> (1 + i, i))         (* a2..a6 chain onto a1 *)
+    @ List.init 3 (fun i -> (7 + i, 6 + i))     (* b2..b4 chain onto b1 *)
+    @ List.init 2 (fun i -> (12 + i, 11 + i))   (* d2, d3 chain onto d1 *)
+    @ List.init 5 (fun i -> (15 + i, 14 + i))   (* e2..e6 chain onto e1 *))
+
+let model () = Model.make Model.Asg Model.Max 20
+
+let steps =
+  let open Instance in
+  [
+    {
+      move = Move.Swap { agent = a1; remove = e1; add = e5 };
+      claims =
+        [ Cost_of (a1, Cost.connected ~edge_units:0 ~dist:6);
+          Is_improving; Is_best_response ];
+    };
+    {
+      move = Move.Swap { agent = b1; remove = a1; add = a3 };
+      claims =
+        [ Cost_of (b1, Cost.connected ~edge_units:0 ~dist:6);
+          Is_improving; Is_best_response ];
+    };
+    {
+      move = Move.Swap { agent = a1; remove = e5; add = e1 };
+      claims =
+        [ Cost_of (a1, Cost.connected ~edge_units:0 ~dist:7);
+          Is_improving; Is_best_response ];
+    };
+    {
+      move = Move.Swap { agent = b1; remove = a3; add = a1 };
+      claims =
+        [ Cost_of (b1, Cost.connected ~edge_units:0 ~dist:8);
+          Is_improving; Is_best_response ];
+    };
+  ]
+
+let instance =
+  Instance.make ~name:"fig6-max-asg-budget"
+    ~description:
+      "Fig. 6 / Thm 3.7 (MAX): best-response cycle of the MAX-ASG where \
+       every agent owns exactly one edge (uniform unit budget)"
+    ~model:(model ()) ~label ~initial:(initial ()) ~steps
+    ~closure:Instance.Exact

@@ -1,0 +1,113 @@
+(* Figure 9 / Theorem 4.1, SUM version: a best-response cycle for the
+   SUM-(G)BG with 7 < alpha < 8.
+
+   G1 is the path a-b-c-d-e-f with g pendant on f.  Ownership (arrows in the
+   paper's figure point away from the owner): b->a, c->b, d->c, d->e, e->f,
+   g->f.  The six steps — g swaps to c, f buys fb, c deletes cb, g swaps
+   back to f, c re-buys cb, f deletes fb — return to G1 exactly.  Every
+   step is a best response; swap targets are tied with one alternative
+   (e.g. g may swap to c or d), which is why only the host-graph variant
+   (Corollary 4.2) pins the cycle down for every policy. *)
+
+module Q = Ncg_rational.Q
+
+let a = 0
+let b = 1
+let c = 2
+let d = 3
+let e = 4
+let f = 5
+let g = 6
+
+let label v = String.make 1 "abcdefg".[v]
+
+let alpha = Q.make 15 2 (* the midpoint of (7, 8) *)
+
+let initial () =
+  Graph.of_edges 7 [ (b, a); (c, b); (d, c); (d, e); (e, f); (g, f) ]
+
+let model ?host () =
+  Model.make ~alpha ?host Model.Gbg Model.Sum 7
+
+let steps =
+  let open Instance in
+  [
+    {
+      move = Move.Swap { agent = g; remove = f; add = c };
+      claims =
+        [ Cost_of (g, Cost.connected ~edge_units:1 ~dist:21);
+          Is_improving; Is_best_response ];
+    };
+    {
+      move = Move.Buy { agent = f; target = b };
+      claims =
+        [ Cost_of (f, Cost.connected ~edge_units:0 ~dist:19);
+          Is_improving; Is_best_response ];
+    };
+    {
+      move = Move.Delete { agent = c; target = b };
+      claims =
+        [ Cost_of (c, Cost.connected ~edge_units:1 ~dist:9);
+          Is_improving; Is_best_response ];
+    };
+    {
+      move = Move.Swap { agent = g; remove = c; add = f };
+      claims =
+        [ Cost_of (g, Cost.connected ~edge_units:1 ~dist:21);
+          Is_improving; Is_best_response ];
+    };
+    {
+      move = Move.Buy { agent = c; target = b };
+      claims =
+        [ Cost_of (c, Cost.connected ~edge_units:0 ~dist:19);
+          Is_improving; Is_best_response ];
+    };
+    {
+      move = Move.Delete { agent = f; target = b };
+      claims =
+        [ Cost_of (f, Cost.connected ~edge_units:1 ~dist:9);
+          Is_improving; Is_best_response ];
+    };
+  ]
+
+let instance =
+  Instance.make ~name:"fig9-sum-gbg"
+    ~description:
+      "Fig. 9 / Thm 4.1 (SUM): best-response cycle of the SUM-(G)BG, \
+       7 < alpha < 8"
+    ~model:(model ()) ~label ~initial:(initial ()) ~steps
+    ~closure:Instance.Exact
+
+(* Corollary 4.2, SUM version: the same cycle on the host graph G1 + bf +
+   cg never reaches a stable state.
+
+   The paper claims each state of the cycle has a unique unhappy agent
+   with a unique improving move.  Machine-checking the natural
+   reconstruction refutes the literal uniqueness: the swapping agent g can
+   alternatively *buy* her target (2*alpha + 11 < alpha + 21 for alpha <
+   10), and once the chord fb exists the owners of the cycle edges de/ef
+   gain improving deletions.  The corollary's conclusion survives anyway:
+   exhaustive exploration of the improving-move state space from G1 under
+   this host graph (see Ncg_search.Statespace and the test suite) finds no
+   reachable stable state, so the game is indeed not weakly acyclic from
+   G1.  The claims kept below are the machine-true ones. *)
+let host () =
+  let h = Graph.copy (initial ()) in
+  Graph.add_edge h ~owner:f f b;
+  Graph.add_edge h ~owner:g g c;
+  Host.of_graph h
+
+let host_model = model ~host:(host ()) ()
+
+let host_instance =
+  Instance.make ~name:"cor42-sum-gbg-host"
+    ~description:
+      "Cor. 4.2 (SUM): on host graph G1+bf+cg the SUM-(G)BG cycle closes \
+       and no improving path stabilises (checked exhaustively)"
+    ~model:host_model ~label ~initial:(initial ())
+    ~steps:
+      (List.map
+         (fun (s : Instance.step) ->
+           { s with Instance.claims = [ Instance.Is_best_response ] })
+         steps)
+    ~closure:Instance.Exact

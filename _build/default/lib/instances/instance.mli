@@ -1,0 +1,71 @@
+(** Gadget instances: an initial network plus a claimed move sequence.
+
+    Every hardness construction in the paper is, operationally, a network
+    together with a sequence of moves and a list of claims ("only agent a1
+    is unhappy", "this swap is her unique best response", "the final state
+    is isomorphic to the first").  An {!t} value captures exactly that, and
+    {!Verify} replays it claim by claim, so a transcription error in a
+    gadget becomes a failing test rather than silent nonsense. *)
+
+type claim =
+  | Unhappy_exactly of int list
+      (** exactly these agents have a feasible improving move *)
+  | Happy of int list  (** these agents have no feasible improving move *)
+  | Is_best_response
+      (** the step's move is among the mover's best responses *)
+  | Is_unique_best_response
+      (** ... and no other move achieves the same cost *)
+  | Is_improving
+  | Only_improving_move
+      (** the mover has no other feasible improving move *)
+  | Cost_of of int * Cost.t  (** an agent's cost in the current state *)
+  | No_better_multi_swap
+      (** ASG only: no multi-swap outperforms the step's move (Thm 3.3) *)
+  | Blocked of int * Move.t
+      (** bilateral: the agent's candidate move is blocked by a refusing
+          new neighbor (Sec. 5) *)
+
+type step = { move : Move.t; claims : claim list }
+
+type closure =
+  | Exact  (** the final network equals the initial one *)
+  | Isomorphic
+      (** ... is isomorphic to it (ownership-aware iff the game uses
+          ownership) *)
+  | Open  (** no closure claim (non-cyclic demonstrations) *)
+
+type t = {
+  name : string;
+  description : string;  (** paper reference, e.g. "Fig. 9, Theorem 4.1" *)
+  model : Model.t;
+  label : int -> string;  (** agent names as printed in the paper *)
+  initial : Graph.t;
+  steps : step list;
+  closure : closure;
+}
+
+val make :
+  name:string ->
+  description:string ->
+  model:Model.t ->
+  label:(int -> string) ->
+  initial:Graph.t ->
+  steps:step list ->
+  closure:closure ->
+  t
+
+val states : t -> Graph.t list
+(** The networks [G_0, G_1, ..., G_k] the steps visit (fresh copies). *)
+
+module Verify : sig
+  type failure = { step_index : int option; message : string }
+  (** [step_index = None] flags a closure failure. *)
+
+  val run : t -> failure list
+  (** Replays the instance; empty list means every claim holds. *)
+
+  val check : t -> unit
+  (** @raise Failure with a readable report if any claim fails. *)
+
+  val pp_failure : Format.formatter -> failure -> unit
+end

@@ -1,0 +1,39 @@
+let recommended_domains () = min 8 (Domain.recommended_domain_count ())
+
+(* Split [items] into [k] contiguous chunks of near-equal length. *)
+let chunk k items =
+  let n = List.length items in
+  let base = n / k and extra = n mod k in
+  let rec take acc n items =
+    if n = 0 then (List.rev acc, items)
+    else
+      match items with
+      | [] -> (List.rev acc, [])
+      | x :: rest -> take (x :: acc) (n - 1) rest
+  in
+  let rec go i items acc =
+    if i >= k then List.rev acc
+    else
+      let size = base + if i < extra then 1 else 0 in
+      let chunk, rest = take [] size items in
+      go (i + 1) rest (chunk :: acc)
+  in
+  go 0 items []
+
+let map ?(domains = 1) f items =
+  if domains <= 1 || List.length items <= 1 then List.map f items
+  else begin
+    let chunks = chunk (min domains (List.length items)) items in
+    match chunks with
+    | [] -> []
+    | first :: others ->
+        let handles =
+          List.map (fun c -> Domain.spawn (fun () -> List.map f c)) others
+        in
+        (* Work on the first chunk in the calling domain. *)
+        let head = List.map f first in
+        head @ List.concat_map Domain.join handles
+  end
+
+let map_reduce ?domains ~map:f ~combine init items =
+  List.fold_left combine init (map ?domains f items)

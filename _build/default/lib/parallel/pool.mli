@@ -1,0 +1,20 @@
+(** Fork-join parallel map over OCaml 5 domains.
+
+    Experiment batches are embarrassingly parallel: each trial owns its RNG
+    and its graphs, so a simple chunked [Domain.spawn] fan-out suffices —
+    no shared state, no locks.  With [domains = 1] (the default, and the
+    right choice on single-core containers) everything runs in the calling
+    domain and behaves exactly like [List.map]. *)
+
+val recommended_domains : unit -> int
+(** [Domain.recommended_domain_count], capped at 8. *)
+
+val map : ?domains:int -> ('a -> 'b) -> 'a list -> 'b list
+(** Order-preserving parallel map.  [domains] defaults to 1.  Exceptions
+    raised by [f] re-raise in the caller. *)
+
+val map_reduce :
+  ?domains:int -> map:('a -> 'b) -> combine:('b -> 'b -> 'b) -> 'b ->
+  'a list -> 'b
+(** [map_reduce ~map ~combine init items] folds [combine] over the mapped
+    values, left to right, starting from [init]. *)

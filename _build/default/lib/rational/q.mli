@@ -1,0 +1,60 @@
+(** Exact rational numbers over native integers.
+
+    The edge price [alpha] of a network creation game is often constrained to
+    an open interval with integer endpoints (e.g. [7 < alpha < 8] in Theorem
+    4.1 of Kawald & Lenzner 2013).  Representing [alpha] as a float would make
+    cost comparisons approximate; this module keeps them exact.  Numerators
+    and denominators stay tiny in all uses of this library (denominators are
+    at most 20, numerators at most a few thousand), so native [int]
+    arithmetic never overflows. *)
+
+type t = private { num : int; den : int }
+(** A rational [num/den] in lowest terms with [den > 0].  The representation
+    is exposed read-only so pattern matching works, but values can only be
+    built through the smart constructors below, which normalise. *)
+
+val make : int -> int -> t
+(** [make num den] is [num/den] reduced to lowest terms.
+    @raise Invalid_argument if [den = 0]. *)
+
+val of_int : int -> t
+
+val zero : t
+val one : t
+
+val mid : t -> t -> t
+(** [mid a b] is the midpoint [(a + b) / 2] — the canonical witness for an
+    open interval such as [7 < alpha < 8]. *)
+
+val add : t -> t -> t
+val sub : t -> t -> t
+val mul : t -> t -> t
+val div : t -> t -> t
+(** @raise Division_by_zero if the divisor is zero. *)
+
+val neg : t -> t
+val abs : t -> t
+
+val mul_int : t -> int -> t
+(** [mul_int q k] is [q * k], avoiding an intermediate [of_int]. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val lt : t -> t -> bool
+val le : t -> t -> bool
+val gt : t -> t -> bool
+val ge : t -> t -> bool
+
+val min : t -> t -> t
+val max : t -> t -> t
+
+val sign : t -> int
+(** [-1], [0] or [1]. *)
+
+val is_integer : t -> bool
+
+val to_float : t -> float
+val to_string : t -> string
+(** ["num/den"], or just ["num"] when the denominator is 1. *)
+
+val pp : Format.formatter -> t -> unit

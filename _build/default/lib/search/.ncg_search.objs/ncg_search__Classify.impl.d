@@ -1,0 +1,1 @@
+lib/search/classify.ml: Format Statespace

@@ -1,0 +1,1 @@
+lib/search/classify.mli: Format Graph Model

@@ -1,0 +1,1 @@
+lib/search/statespace.ml: Canonical Graph Hashtbl List Model Move Queue Response

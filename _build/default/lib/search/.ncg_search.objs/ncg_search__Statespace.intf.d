@@ -1,0 +1,1 @@
+lib/search/statespace.mli: Graph Model Move

@@ -1,0 +1,40 @@
+type verdict = Yes | No | Unknown
+
+type report = {
+  finite_improvement : verdict;
+  br_weakly_acyclic : verdict;
+  weakly_acyclic : verdict;
+  states_explored : int;
+}
+
+let classify ?(max_states = 50_000) model initial =
+  let finite_improvement =
+    match Statespace.is_fipg_from ~max_states model initial with
+    | `Yes -> Yes
+    | `No -> No
+    | `Truncated -> Unknown
+  in
+  let reaches rule =
+    match Statespace.reachable_stable_state ~max_states ~rule model initial with
+    | `Found _ -> Yes
+    | `None -> No
+    | `Truncated -> Unknown
+  in
+  let exploration = Statespace.explore ~max_states model initial in
+  {
+    finite_improvement;
+    br_weakly_acyclic = reaches Statespace.Best_responses;
+    weakly_acyclic = reaches Statespace.All_improving;
+    states_explored = exploration.Statespace.explored;
+  }
+
+let pp_verdict fmt = function
+  | Yes -> Format.pp_print_string fmt "yes"
+  | No -> Format.pp_print_string fmt "no"
+  | Unknown -> Format.pp_print_string fmt "unknown"
+
+let pp fmt r =
+  Format.fprintf fmt
+    "finite-improvement=%a br-weakly-acyclic=%a weakly-acyclic=%a (%d states)"
+    pp_verdict r.finite_improvement pp_verdict r.br_weakly_acyclic pp_verdict
+    r.weakly_acyclic r.states_explored

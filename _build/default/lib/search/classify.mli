@@ -1,0 +1,32 @@
+(** Instance-level game classification (Section 1.2).
+
+    The paper sorts games into poly-FIPG ⊂ FIPG ⊂ BR-WAG ⊂ WAG.  The class
+    of a {e game} quantifies over all initial states; for a concrete
+    instance the meaningful questions are per-state, and exhaustive
+    exploration answers them exactly (up to a state budget):
+
+    - does every improving-move sequence from here terminate? (FIPG-like)
+    - does some best-response sequence reach a stable state? (BR-WAG-like)
+    - does some improving-move sequence reach one? (WAG-like)
+
+    A [`No] answer to the second/third question from even one state
+    refutes BR-WAG / WAG membership of the whole game — that is exactly
+    how Theorem 3.3 and the corollaries are checked in this library. *)
+
+type verdict = Yes | No | Unknown  (** [Unknown] = exploration truncated *)
+
+type report = {
+  finite_improvement : verdict;
+      (** no improving-move cycle among reachable states *)
+  br_weakly_acyclic : verdict;
+      (** some best-response path reaches a stable state *)
+  weakly_acyclic : verdict;
+      (** some improving-move path reaches a stable state *)
+  states_explored : int;  (** size of the improving-move region *)
+}
+
+val classify : ?max_states:int -> Model.t -> Graph.t -> report
+(** Runs the three explorations from one initial network.
+    [max_states] defaults to 50_000. *)
+
+val pp : Format.formatter -> report -> unit

@@ -1,0 +1,163 @@
+type successor_rule = All_improving | Best_responses
+
+type exploration = {
+  explored : int;
+  stable : string list;
+  truncated : bool;
+}
+
+let state_key model g =
+  if Model.uses_ownership model then Canonical.key g
+  else Canonical.unowned_key g
+
+(* The outgoing moves of a state under the successor rule. *)
+let successor_moves rule model g =
+  let moves_of u =
+    match rule with
+    | All_improving -> Response.improving_moves model g u
+    | Best_responses -> Response.best_moves model g u
+  in
+  List.concat_map
+    (fun u -> List.map (fun e -> e.Response.move) (moves_of u))
+    (Graph.vertices g)
+
+let explore ?(max_states = 100_000) ?(rule = All_improving) model initial =
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let queue = Queue.create () in
+  let stable = ref [] in
+  let truncated = ref false in
+  let push g =
+    let key = state_key model g in
+    if not (Hashtbl.mem seen key) then begin
+      if Hashtbl.length seen >= max_states then truncated := true
+      else begin
+        Hashtbl.replace seen key ();
+        Queue.add (Graph.copy g) queue
+      end
+    end
+  in
+  push initial;
+  while not (Queue.is_empty queue) do
+    let g = Queue.pop queue in
+    match successor_moves rule model g with
+    | [] -> stable := state_key model g :: !stable
+    | moves ->
+        List.iter
+          (fun move ->
+            let token = Move.apply g move in
+            push g;
+            Move.undo g token)
+          moves
+  done;
+  { explored = Hashtbl.length seen; stable = !stable; truncated = !truncated }
+
+let reachable_stable_state ?(max_states = 100_000) ?(rule = All_improving)
+    model initial =
+  let seen : (string, unit) Hashtbl.t = Hashtbl.create 1024 in
+  let queue = Queue.create () in
+  let truncated = ref false in
+  let push g =
+    let key = state_key model g in
+    if not (Hashtbl.mem seen key) then begin
+      if Hashtbl.length seen >= max_states then truncated := true
+      else begin
+        Hashtbl.replace seen key ();
+        Queue.add (Graph.copy g) queue
+      end
+    end
+  in
+  push initial;
+  let result = ref `None in
+  (try
+     while not (Queue.is_empty queue) do
+       let g = Queue.pop queue in
+       match successor_moves rule model g with
+       | [] ->
+           result := `Found g;
+           raise Exit
+       | moves ->
+           List.iter
+             (fun move ->
+               let token = Move.apply g move in
+               push g;
+               Move.undo g token)
+             moves
+     done
+   with Exit -> ());
+  match !result with
+  | `Found _ as r -> r
+  | `None -> if !truncated then `Truncated else `None
+
+type cycle = { start : Graph.t; moves : Move.t list }
+
+(* Iterative three-color DFS for a back edge.  The explicit stack holds the
+   state (as a graph copy) plus its not-yet-expanded moves. *)
+let find_cycle ?(max_states = 100_000) ?(rule = All_improving) model initial =
+  let color : (string, [ `Gray | `Black ]) Hashtbl.t = Hashtbl.create 1024 in
+  let truncated = ref false in
+  (* stack frames: (graph, key, remaining moves, move taken to get here) *)
+  let rec expand stack =
+    match stack with
+    | [] -> if !truncated then `Truncated else `Acyclic
+    | (g, key, moves, _via) :: rest -> (
+        match moves with
+        | [] ->
+            Hashtbl.replace color key `Black;
+            expand rest
+        | move :: moves ->
+            let stack = (g, key, moves, _via) :: rest in
+            let g' = Graph.copy g in
+            ignore (Move.apply g' move);
+            let key' = state_key model g' in
+            (match Hashtbl.find_opt color key' with
+            | Some `Gray ->
+                (* Back edge: the cycle is the gray path from key' down to
+                   this state, plus [move].  Every gray state sits on the
+                   stack, so walk it head-first prepending the entry moves
+                   until key' is reached. *)
+                let cycle_moves = ref [ move ] in
+                (try
+                   List.iter
+                     (fun (_, k, _, via) ->
+                       if k = key' then raise Exit
+                       else
+                         match via with
+                         | Some m -> cycle_moves := m :: !cycle_moves
+                         | None -> raise Exit)
+                     stack
+                 with Exit -> ());
+                (* The start state of the cycle. *)
+                let start =
+                  let rec find = function
+                    | [] -> None
+                    | (g0, k, _, _) :: rest ->
+                        if k = key' then Some g0 else find rest
+                  in
+                  find stack
+                in
+                (match start with
+                | Some start ->
+                    `Cycle { start = Graph.copy start; moves = !cycle_moves }
+                | None -> `Cycle { start = g'; moves = !cycle_moves })
+            | Some `Black -> expand stack
+            | None ->
+                if Hashtbl.length color >= max_states then begin
+                  truncated := true;
+                  expand stack
+                end
+                else begin
+                  Hashtbl.replace color key' `Gray;
+                  let succ = successor_moves rule model g' in
+                  expand ((g', key', succ, Some move) :: stack)
+                end))
+  in
+  let key0 = state_key model initial in
+  Hashtbl.replace color key0 `Gray;
+  let g0 = Graph.copy initial in
+  expand [ (g0, key0, successor_moves rule model g0, None) ]
+
+let is_fipg_from ?max_states model initial =
+  match find_cycle ?max_states ~rule:All_improving model initial with
+  | `Cycle _ -> `No
+  | `Acyclic -> `Yes
+  | `Truncated -> `Truncated

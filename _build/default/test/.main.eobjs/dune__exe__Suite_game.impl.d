@@ -1,0 +1,1 @@
+test/suite_game.ml: Agents Alcotest Canonical Cost Gen Graph Host List Model Move Ncg_game Ncg_graph Ncg_instances Ncg_rational Printf QCheck QCheck_alcotest Random Response Seq

@@ -1,0 +1,1 @@
+test/suite_graph.ml: Alcotest Array Astring_like Canonical Dot Gen Graph Host Iso List Ncg_graph Paths Printf QCheck QCheck_alcotest Random String Tree

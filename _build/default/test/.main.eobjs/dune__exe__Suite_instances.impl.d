@@ -1,0 +1,1 @@
+test/suite_instances.ml: Agents Alcotest Array Cost Format Graph Iso List Model Move Ncg_game Ncg_graph Ncg_instances Ncg_rational Paths Response String

@@ -1,0 +1,1 @@
+test/suite_rational.ml: Alcotest List Ncg_rational QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/suite_search.ml: Alcotest Canonical Classify Format Gen Graph List Model Move Ncg_core Ncg_game Ncg_graph Ncg_instances Ncg_search Response Statespace

@@ -1,0 +1,9 @@
+(* Minimal substring check used by the test suites (no extra deps). *)
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec go i =
+    if i + nl > hl then false
+    else if String.sub haystack i nl = needle then true
+    else go (i + 1)
+  in
+  nl = 0 || go 0

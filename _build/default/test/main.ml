@@ -1,0 +1,12 @@
+(* Aggregated test runner: `dune runtest`. *)
+let () =
+  Alcotest.run "ncg-repro"
+    [
+      Suite_rational.suite;
+      Suite_graph.suite;
+      Suite_game.suite;
+      Suite_core.suite;
+      Suite_instances.suite;
+      Suite_search.suite;
+      Suite_experiments.suite;
+    ]

@@ -1,0 +1,378 @@
+(* Tests for the dynamics engine, policies, potentials and tree theory. *)
+open Ncg_graph
+open Ncg_game
+open Ncg_core
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let max_sg n = Model.make Model.Sg Model.Max n
+let sum_asg n = Model.make Model.Asg Model.Sum n
+
+(* ------------------------------------------------------------------ *)
+(* Policy                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_policy_max_cost () =
+  let model = max_sg 5 in
+  let g = Gen.path 5 in
+  let rng = Random.State.make [| 1 |] in
+  let ws = Paths.Workspace.create 5 in
+  match Policy.select Policy.Max_cost ~rng ~ws model g ~last:None with
+  | Some u -> check "max cost policy picks an end of P5" true (u = 0 || u = 4)
+  | None -> Alcotest.fail "someone is unhappy on P5"
+
+let test_policy_converged () =
+  let model = max_sg 5 in
+  let g = Gen.star 5 in
+  let rng = Random.State.make [| 1 |] in
+  let ws = Paths.Workspace.create 5 in
+  List.iter
+    (fun p ->
+      check "no mover on stable star" true
+        (Policy.select p ~rng ~ws model g ~last:None = None))
+    [ Policy.Max_cost; Policy.Random_unhappy; Policy.Round_robin ]
+
+let test_policy_adversarial () =
+  let model = max_sg 5 in
+  let g = Gen.path 5 in
+  let rng = Random.State.make [| 1 |] in
+  let ws = Paths.Workspace.create 5 in
+  let seen = ref [] in
+  let p = Policy.Adversarial (fun _ unhappy -> seen := unhappy; None) in
+  check "adversary may abort" true
+    (Policy.select p ~rng ~ws model g ~last:None = None);
+  Alcotest.(check (list int)) "adversary sees sorted unhappy set"
+    [ 0; 1; 3; 4 ] !seen
+
+(* ------------------------------------------------------------------ *)
+(* Engine                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_engine_converges_tree () =
+  let model = max_sg 9 in
+  let r = Engine.run (Engine.config model) (Gen.path 9) in
+  check "converged" true (Engine.converged r);
+  check "final stable" true (Response.is_stable model r.Engine.final);
+  check "within Thm 2.1 bound" true
+    (r.Engine.steps <= Theory.thm21_step_bound 9);
+  check "stable tree is star or double star" true
+    (match Theory.tree_shape r.Engine.final with
+    | Theory.Star | Theory.Double_star -> true
+    | Theory.Other_tree | Theory.Not_a_tree -> false)
+
+let test_engine_deterministic () =
+  let model = sum_asg 12 in
+  let g = Gen.random_budget_network (Random.State.make [| 3 |]) 12 2 in
+  let run seed =
+    let r =
+      Engine.run ~rng:(Random.State.make [| seed |]) (Engine.config model) g
+    in
+    (r.Engine.steps, Canonical.key r.Engine.final)
+  in
+  check "same seed same run" true (run 42 = run 42)
+
+let test_engine_history () =
+  let model = max_sg 7 in
+  let r = Engine.run (Engine.config model) (Gen.path 7) in
+  check_int "history length = steps" r.Engine.steps
+    (List.length r.Engine.history);
+  (* every recorded move strictly improved its mover *)
+  let unit_price = Model.unit_price model in
+  check "movers strictly improve" true
+    (List.for_all
+       (fun (s : Engine.step) ->
+         Cost.lt ~unit_price s.Engine.cost_after s.Engine.cost_before)
+       r.Engine.history);
+  check "indices sequential" true
+    (List.mapi (fun i _ -> i) r.Engine.history
+    = List.map (fun (s : Engine.step) -> s.Engine.index) r.Engine.history);
+  (* input graph untouched *)
+  check "input preserved" true (Graph.equal (Gen.path 7) (Gen.path 7))
+
+let test_engine_step_limit () =
+  let model = max_sg 15 in
+  let cfg = Engine.config ~max_steps:1 model in
+  let r = Engine.run cfg (Gen.path 15) in
+  check "step limit reported" true (r.Engine.reason = Engine.Step_limit);
+  check_int "exactly one step" 1 r.Engine.steps
+
+let test_engine_cycle_detection () =
+  (* Fig. 3 has a unique unhappy agent with a unique best response in every
+     state, so any policy and tie-break must fall into its 4-cycle. *)
+  let inst = Ncg_instances.Fig3_sum_asg.instance in
+  let cfg =
+    Engine.config ~detect_cycles:true ~max_steps:50
+      inst.Ncg_instances.Instance.model
+  in
+  let r = Engine.run cfg inst.Ncg_instances.Instance.initial in
+  match r.Engine.reason with
+  | Engine.Cycle_detected { period; _ } ->
+      check_int "Fig. 3 cycle has period 4" 4 period
+  | Engine.Converged | Engine.Step_limit ->
+      Alcotest.fail "Fig. 3 must cycle"
+
+let test_engine_any_improving () =
+  (* Better-response dynamics on SUM-SG trees: the social-cost potential
+     guarantees convergence even without best responses. *)
+  let model = Model.make Model.Sg Model.Sum 10 in
+  let cfg =
+    Engine.config ~policy:Policy.Random_unhappy
+      ~move_rule:Engine.Any_improving model
+  in
+  let g = Gen.random_tree (Random.State.make [| 11 |]) 10 in
+  let r = Engine.run cfg g in
+  check "better-response dynamics converge on trees" true
+    (Engine.converged r);
+  check "result stable" true (Response.is_stable model r.Engine.final)
+
+let test_engine_round_robin () =
+  let model = max_sg 8 in
+  let cfg = Engine.config ~policy:Policy.Round_robin model in
+  let r = Engine.run cfg (Gen.path 8) in
+  check "round robin converges" true (Engine.converged r);
+  check "round robin stable" true (Response.is_stable model r.Engine.final)
+
+let test_engine_prefer_deletion () =
+  (* With the deletion preference, a GBG agent whose best responses
+     include a deletion must delete. *)
+  let model =
+    Model.make ~alpha:(Ncg_rational.Q.of_int 50) Model.Gbg Model.Sum 5
+  in
+  (* expensive alpha: deleting a redundant edge is the clear best move *)
+  let g = Gen.star 5 in
+  Graph.add_edge g ~owner:1 1 2;
+  let cfg =
+    Engine.config ~tie_break:Engine.Prefer_deletion ~max_steps:1 model
+  in
+  let r = Engine.run cfg g in
+  (match r.Engine.history with
+  | [ s ] ->
+      check "first move is a deletion" true (s.Engine.effect = Move.Kdelete)
+  | _ -> Alcotest.fail "expected exactly one step")
+
+let test_engine_already_stable () =
+  let model = max_sg 6 in
+  let r = Engine.run (Engine.config model) (Gen.star 6) in
+  check_int "zero steps on stable input" 0 r.Engine.steps;
+  check "converged" true (Engine.converged r)
+
+let prop_engine_tree_convergence =
+  QCheck.Test.make ~count:60
+    ~name:"MAX-SG converges on every random tree (Thm 2.1)"
+    QCheck.(pair (int_bound 100_000) (int_range 3 20))
+    (fun (seed, n) ->
+      let g = Gen.random_tree (Random.State.make [| seed |]) n in
+      let r =
+        Engine.run
+          ~rng:(Random.State.make [| seed + 1 |])
+          (Engine.config ~policy:Policy.Random_unhappy (max_sg n))
+          g
+      in
+      Engine.converged r
+      && r.Engine.steps <= Theory.thm21_step_bound n
+      && Response.is_stable (max_sg n) r.Engine.final)
+
+let prop_sum_asg_tree_bound =
+  QCheck.Test.make ~count:40
+    ~name:"SUM-ASG trees + max cost within Cor 3.2 bound"
+    QCheck.(pair (int_bound 100_000) (int_range 4 24))
+    (fun (seed, n) ->
+      let g = Gen.random_tree (Random.State.make [| seed |]) n in
+      let r =
+        Engine.run
+          ~rng:(Random.State.make [| seed + 1 |])
+          (Engine.config ~policy:Policy.Max_cost (sum_asg n))
+          g
+      in
+      Engine.converged r && r.Engine.steps <= Theory.cor32_sum_asg_bound n)
+
+(* ------------------------------------------------------------------ *)
+(* Potential                                                           *)
+(* ------------------------------------------------------------------ *)
+
+let improving_tree_swaps model g =
+  List.concat_map
+    (fun u ->
+      List.map
+        (fun e -> e.Response.move)
+        (Response.improving_moves model g u))
+    (Graph.vertices g)
+
+let prop_lemma26_potential =
+  QCheck.Test.make ~count:60
+    ~name:"Lemma 2.6: sorted cost vector lex-decreases on MAX-SG tree swaps"
+    QCheck.(pair (int_bound 100_000) (int_range 4 14))
+    (fun (seed, n) ->
+      let g = Gen.random_tree (Random.State.make [| seed |]) n in
+      let model = max_sg n in
+      List.for_all (Potential.lex_decreases model g)
+        (improving_tree_swaps model g))
+
+let prop_sum_sg_social_potential =
+  QCheck.Test.make ~count:60
+    ~name:"SUM-SG trees: social cost decreases on improving swaps"
+    QCheck.(pair (int_bound 100_000) (int_range 4 14))
+    (fun (seed, n) ->
+      let g = Gen.random_tree (Random.State.make [| seed |]) n in
+      let model = Model.make Model.Sg Model.Sum n in
+      List.for_all (Potential.social_cost_decreases model g)
+        (improving_tree_swaps model g))
+
+let prop_diameter_monotone =
+  QCheck.Test.make ~count:60
+    ~name:"MAX-SG tree swaps never increase the diameter"
+    QCheck.(pair (int_bound 100_000) (int_range 4 14))
+    (fun (seed, n) ->
+      let g = Gen.random_tree (Random.State.make [| seed |]) n in
+      let model = max_sg n in
+      List.for_all (Potential.diameter_never_increases model g)
+        (improving_tree_swaps model g))
+
+(* ------------------------------------------------------------------ *)
+(* Theory                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_bounds () =
+  check_int "cor32 even" 7 (Theory.cor32_sum_asg_bound 10);
+  check_int "cor32 odd" 12 (Theory.cor32_sum_asg_bound 11);
+  check_int "cor32 tiny" 0 (Theory.cor32_sum_asg_bound 2);
+  check "thm21 grows like n^3" true
+    (Theory.thm21_step_bound 20 > 6 * Theory.thm21_step_bound 10
+     && Theory.thm21_step_bound 20 < 27 * Theory.thm21_step_bound 10);
+  check "nlogn" true (abs_float (Theory.nlogn 8 -. 24.0) < 1e-9)
+
+let test_shapes () =
+  check "star shape" true (Theory.tree_shape (Gen.star 5) = Theory.Star);
+  check "double star" true
+    (Theory.tree_shape (Gen.double_star 2 2) = Theory.Double_star);
+  check "other tree" true
+    (Theory.tree_shape (Gen.path 6) = Theory.Other_tree);
+  check "not a tree" true
+    (Theory.tree_shape (Gen.cycle 5) = Theory.Not_a_tree);
+  check "MAX stable shape: diameter 3 ok" true
+    (Theory.stable_tree_shape_ok (max_sg 6) (Gen.double_star 2 2));
+  check "MAX stable shape: P6 too long" false
+    (Theory.stable_tree_shape_ok (max_sg 6) (Gen.path 6));
+  check "SUM needs diameter <= 2" false
+    (Theory.stable_tree_shape_ok (Model.make Model.Sg Model.Sum 6)
+       (Gen.double_star 2 2))
+
+let prop_tree_lemmas =
+  QCheck.Test.make ~count:80
+    ~name:"Lemmas 2.2/2.4/2.8 and Obs 2.9 on random trees"
+    QCheck.(pair (int_bound 100_000) (int_range 3 16))
+    (fun (seed, n) ->
+      let g = Gen.random_tree (Random.State.make [| seed |]) n in
+      let model = max_sg n in
+      Theory.lemma28_holds g
+      && Theory.obs29_holds g
+      && List.for_all
+           (fun m -> Theory.lemma22_holds g m && Theory.lemma24_holds g m)
+           (improving_tree_swaps model g))
+
+(* ------------------------------------------------------------------ *)
+(* Stats and Trajectory                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_stats () =
+  let model = max_sg 7 in
+  let results =
+    [ Engine.run (Engine.config model) (Gen.path 7);
+      Engine.run (Engine.config model) (Gen.star 7) ]
+  in
+  let s = Stats.summarize results in
+  check_int "runs" 2 s.Stats.runs;
+  check_int "converged" 2 s.Stats.converged;
+  check_int "cycles" 0 s.Stats.cycles;
+  check_int "min is star's zero" 0 s.Stats.min_steps;
+  check "avg between min and max" true
+    (s.Stats.avg_steps >= 0.0
+    && s.Stats.avg_steps <= float_of_int s.Stats.max_steps);
+  let empty = Stats.summarize [] in
+  check "empty avg is nan" true (Float.is_nan empty.Stats.avg_steps)
+
+let test_trajectory () =
+  let model =
+    Model.make ~alpha:(Ncg_rational.Q.of_int 5) Model.Gbg Model.Sum 14
+  in
+  let g = Gen.random_m_edges (Random.State.make [| 9 |]) 14 30 in
+  let r =
+    Engine.run (Engine.config ~tie_break:Engine.Prefer_deletion model) g
+  in
+  let ops = Trajectory.count_ops r.Engine.history in
+  check_int "op counts partition the history" r.Engine.steps
+    (Trajectory.total ops);
+  let phases = Trajectory.phases 3 r.Engine.history in
+  check_int "three phases" 3 (Array.length phases);
+  check_int "phases partition too" r.Engine.steps
+    (Array.fold_left (fun acc c -> acc + Trajectory.total c) 0 phases);
+  check_int "movers recorded" r.Engine.steps
+    (List.length (Trajectory.movers r.Engine.history));
+  check "dominant of empty" true
+    (Trajectory.dominant (Trajectory.count_ops []) = None)
+
+let test_efficiency () =
+  let open Ncg_rational in
+  (* SUM-BG on 4 agents, alpha = 3 (>= 2): the star is optimal. *)
+  let model = Model.make ~alpha:(Q.of_int 3) Model.Bg Model.Sum 4 in
+  check "star social cost = 3*3 + (3 + 3*5)" true
+    (Q.equal (Efficiency.star_social_cost model) (Q.of_int (9 + 18)));
+  check "clique = 6*3 + 12" true
+    (Q.equal (Efficiency.clique_social_cost model) (Q.of_int 30));
+  check "optimum = star" true
+    (Q.equal (Efficiency.optimum_social_cost model) (Q.of_int 27));
+  (* alpha = 1 (< 2): the clique wins *)
+  let cheap = Model.make ~alpha:Q.one Model.Bg Model.Sum 4 in
+  check "cheap optimum = clique" true
+    (Q.equal (Efficiency.optimum_social_cost cheap)
+       (Efficiency.clique_social_cost cheap));
+  (* the star network achieves ratio 1 *)
+  check "star ratio 1" true
+    (Efficiency.efficiency_ratio model (Gen.star 4) = Some 1.0);
+  check "disconnected has no ratio" true
+    (Efficiency.efficiency_ratio model (Graph.create 4) = None);
+  (* empirical PoA of the SUM-GBG is small *)
+  let gbg = Model.make ~alpha:(Q.of_int 3) Model.Gbg Model.Sum 10 in
+  let worst =
+    Efficiency.worst_stable_ratio ~trials:5 gbg (fun rng ->
+        Gen.random_m_edges rng 10 15)
+  in
+  check "stable networks nearly optimal" true (worst >= 1.0 && worst < 3.0)
+
+let suite =
+  ( "core",
+    [
+      Alcotest.test_case "max cost policy" `Quick test_policy_max_cost;
+      Alcotest.test_case "policies on stable nets" `Quick
+        test_policy_converged;
+      Alcotest.test_case "adversarial policy" `Quick test_policy_adversarial;
+      Alcotest.test_case "engine converges on trees" `Quick
+        test_engine_converges_tree;
+      Alcotest.test_case "engine deterministic" `Quick
+        test_engine_deterministic;
+      Alcotest.test_case "engine history" `Quick test_engine_history;
+      Alcotest.test_case "engine step limit" `Quick test_engine_step_limit;
+      Alcotest.test_case "engine cycle detection" `Quick
+        test_engine_cycle_detection;
+      Alcotest.test_case "stable input" `Quick test_engine_already_stable;
+      Alcotest.test_case "any-improving rule" `Quick
+        test_engine_any_improving;
+      Alcotest.test_case "round robin" `Quick test_engine_round_robin;
+      Alcotest.test_case "deletion preference" `Quick
+        test_engine_prefer_deletion;
+      Alcotest.test_case "bound formulas" `Quick test_bounds;
+      Alcotest.test_case "tree shapes" `Quick test_shapes;
+      Alcotest.test_case "stats" `Quick test_stats;
+      Alcotest.test_case "efficiency" `Quick test_efficiency;
+      Alcotest.test_case "trajectory" `Quick test_trajectory;
+    ]
+    @ List.map QCheck_alcotest.to_alcotest
+        [
+          prop_engine_tree_convergence;
+          prop_sum_asg_tree_bound;
+          prop_lemma26_potential;
+          prop_sum_sg_social_potential;
+          prop_diameter_monotone;
+          prop_tree_lemmas;
+        ] )

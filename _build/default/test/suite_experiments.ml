@@ -1,0 +1,180 @@
+(* Tests for the experiment harness and the parallel substrate. *)
+open Ncg_game
+open Ncg_core
+open Ncg_experiments
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* ------------------------------------------------------------------ *)
+(* Pool                                                                *)
+(* ------------------------------------------------------------------ *)
+
+let test_pool_map () =
+  let xs = List.init 37 (fun i -> i) in
+  let expected = List.map (fun x -> x * x) xs in
+  Alcotest.(check (list int)) "sequential" expected
+    (Ncg_parallel.Pool.map (fun x -> x * x) xs);
+  Alcotest.(check (list int)) "parallel preserves order" expected
+    (Ncg_parallel.Pool.map ~domains:3 (fun x -> x * x) xs);
+  Alcotest.(check (list int)) "more domains than items" [ 4 ]
+    (Ncg_parallel.Pool.map ~domains:8 (fun x -> x * x) [ 2 ]);
+  check_int "map_reduce" 55
+    (Ncg_parallel.Pool.map_reduce ~domains:2 ~map:(fun x -> x * x)
+       ~combine:( + ) 0
+       [ 1; 2; 3; 4; 5 ]);
+  check "recommended domains positive" true
+    (Ncg_parallel.Pool.recommended_domains () >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Runner                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let small_spec () =
+  let model = Model.make Model.Asg Model.Sum 12 in
+  Runner.spec model (fun rng -> Ncg_graph.Gen.random_budget_network rng 12 2)
+
+let test_runner_deterministic () =
+  let s1 = Runner.run ~trials:6 (small_spec ()) in
+  let s2 = Runner.run ~trials:6 (small_spec ()) in
+  check "same seed, same summary" true (s1 = s2);
+  let s3 = Runner.run ~seed:999 ~trials:6 (small_spec ()) in
+  check "summaries carry runs" true (s3.Stats.runs = 6)
+
+let test_runner_parallel_matches_sequential () =
+  let s1 = Runner.run ~domains:1 ~trials:8 (small_spec ()) in
+  let s2 = Runner.run ~domains:4 ~trials:8 (small_spec ()) in
+  check "domains do not change results" true (s1 = s2)
+
+let test_runner_converges () =
+  let s = Runner.run ~trials:10 (small_spec ()) in
+  check_int "all converged" 10 s.Stats.converged;
+  check_int "no cycles" 0 s.Stats.cycles;
+  check "within 5n" true (s.Stats.max_steps <= 5 * 12)
+
+(* ------------------------------------------------------------------ *)
+(* Sweeps                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let test_asg_sweep_structure () =
+  let p =
+    { (Asg_budget.default Model.Sum) with
+      Asg_budget.budgets = [ 1; 2 ];
+      ns = [ 8; 12 ];
+      trials = 3 }
+  in
+  let curves = Asg_budget.sweep p in
+  check_int "budgets x policies curves" 4 (List.length curves);
+  List.iter
+    (fun (c : Series.curve) ->
+      check_int "points per curve" 2 (List.length c.Series.points))
+    curves;
+  check "labels follow the paper" true
+    (List.exists (fun c -> c.Series.label = "k=2 max cost") curves)
+
+let test_gbg_sweep_structure () =
+  let p =
+    { (Gbg_sweep.default Model.Max) with
+      Gbg_sweep.m_factors = [ 1 ];
+      alphas = [ Gbg_sweep.Alpha_n_over 4 ];
+      ns = [ 10 ];
+      trials = 3 }
+  in
+  let curves = Gbg_sweep.sweep p in
+  check_int "two curves (policies)" 2 (List.length curves);
+  check "alpha labels" true
+    (Gbg_sweep.alpha_label (Gbg_sweep.Alpha_n_over 4) = "a=n/4"
+    && Gbg_sweep.alpha_label (Gbg_sweep.Alpha_n_over 1) = "a=n");
+  check "alpha value exact" true
+    (Ncg_rational.Q.equal
+       (Gbg_sweep.alpha_of (Gbg_sweep.Alpha_n_over 4) 10)
+       (Ncg_rational.Q.make 5 2))
+
+let test_topology_settings () =
+  let rng = Random.State.make [| 1 |] in
+  let rl = Topology.generate Topology.Random_line rng 9 in
+  check "rl is a tree" true (Ncg_graph.Tree.is_tree rl);
+  let dl = Topology.generate Topology.Directed_line rng 9 in
+  check "dl ownership directed" true
+    (List.for_all (fun i -> Ncg_graph.Graph.owns dl i (i + 1))
+       (List.init 8 (fun i -> i)));
+  let rnd = Topology.generate Topology.Random_net rng 9 in
+  check_int "random has n edges" 9 (Ncg_graph.Graph.m rnd);
+  Alcotest.(check string) "labels" "rl" (Topology.setting_label Topology.Random_line)
+
+let test_topology_sweep_runs () =
+  let p =
+    { (Topology.default Model.Sum) with
+      Topology.settings = [ Topology.Directed_line ];
+      alphas = [ Gbg_sweep.Alpha_n_over 4 ];
+      ns = [ 10 ];
+      trials = 2 }
+  in
+  let curves = Topology.sweep p in
+  check_int "curves" 2 (List.length curves);
+  List.iter
+    (fun (c : Series.curve) ->
+      List.iter
+        (fun (pt : Series.point) ->
+          check "trials all converged" true
+            (pt.Series.summary.Stats.converged = 2))
+        c.Series.points)
+    curves
+
+(* ------------------------------------------------------------------ *)
+(* Series                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let fake_curves () =
+  let summary steps =
+    Stats.summarize
+      [ { Engine.reason = Engine.Converged; steps; history = [];
+          final = Ncg_graph.Gen.path 2 } ]
+  in
+  [ { Series.label = "a";
+      points =
+        [ { Series.n = 10; summary = summary 30 };
+          { Series.n = 20; summary = summary 90 } ] };
+    { Series.label = "b";
+      points = [ { Series.n = 10; summary = summary 55 } ] } ]
+
+let test_series_envelope () =
+  let curves = fake_curves () in
+  let verdicts = Series.envelope (fun n -> float_of_int (5 * n)) "5n" curves in
+  check "a within 5n" true (List.assoc "a: 5n" verdicts);
+  check "b above 5n" false (List.assoc "b: 5n" verdicts);
+  Alcotest.(check (float 1e-9)) "max_over" 5.5 (Series.max_over curves)
+
+let test_series_rendering () =
+  let curves = fake_curves () in
+  let table = Series.to_table ~value:`Max curves in
+  check "table mentions labels" true
+    (Astring_like.contains table "a" && Astring_like.contains table "b");
+  check "missing points dashed" true (Astring_like.contains table "-");
+  let dat = Series.to_gnuplot ~value:`Max curves in
+  check "gnuplot has comment headers" true (Astring_like.contains dat "# a");
+  check "gnuplot data line" true (Astring_like.contains dat "20 90.000");
+  let path = Filename.temp_file "ncg" ".dat" in
+  Series.write_gnuplot path curves;
+  let happy = Sys.file_exists path in
+  Sys.remove path;
+  check "write_gnuplot creates file" true happy
+
+let suite =
+  ( "experiments",
+    [
+      Alcotest.test_case "pool map" `Quick test_pool_map;
+      Alcotest.test_case "runner determinism" `Quick
+        test_runner_deterministic;
+      Alcotest.test_case "runner parallel equivalence" `Quick
+        test_runner_parallel_matches_sequential;
+      Alcotest.test_case "runner convergence" `Quick test_runner_converges;
+      Alcotest.test_case "asg sweep structure" `Quick
+        test_asg_sweep_structure;
+      Alcotest.test_case "gbg sweep structure" `Quick
+        test_gbg_sweep_structure;
+      Alcotest.test_case "topology settings" `Quick test_topology_settings;
+      Alcotest.test_case "topology sweep" `Quick test_topology_sweep_runs;
+      Alcotest.test_case "series envelopes" `Quick test_series_envelope;
+      Alcotest.test_case "series rendering" `Quick test_series_rendering;
+    ] )

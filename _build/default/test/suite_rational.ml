@@ -1,0 +1,108 @@
+(* Unit and property tests for Ncg_rational.Q. *)
+module Q = Ncg_rational.Q
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let test_normalisation () =
+  check_str "6/4 reduces" "3/2" (Q.to_string (Q.make 6 4));
+  check_str "-6/4 reduces" "-3/2" (Q.to_string (Q.make (-6) 4));
+  check_str "6/-4 moves sign" "-3/2" (Q.to_string (Q.make 6 (-4)));
+  check_str "0/5 is 0" "0" (Q.to_string (Q.make 0 5));
+  check_str "integers print bare" "7" (Q.to_string (Q.make 14 2))
+
+let test_zero_denominator () =
+  Alcotest.check_raises "make x 0 rejected"
+    (Invalid_argument "Q.make: zero denominator") (fun () ->
+      ignore (Q.make 1 0))
+
+let test_arithmetic () =
+  check "1/2 + 1/3 = 5/6" true Q.(equal (add (make 1 2) (make 1 3)) (make 5 6));
+  check "1/2 - 1/3 = 1/6" true Q.(equal (sub (make 1 2) (make 1 3)) (make 1 6));
+  check "2/3 * 3/4 = 1/2" true Q.(equal (mul (make 2 3) (make 3 4)) (make 1 2));
+  check "(1/2) / (1/4) = 2" true Q.(equal (div (make 1 2) (make 1 4)) (of_int 2));
+  check "neg" true Q.(equal (neg (make 3 4)) (make (-3) 4));
+  check "abs" true Q.(equal (abs (make (-3) 4)) (make 3 4));
+  check "mul_int" true Q.(equal (mul_int (make 3 4) 8) (of_int 6))
+
+let test_division_by_zero () =
+  Alcotest.check_raises "div by zero" Division_by_zero (fun () ->
+      ignore (Q.div Q.one Q.zero))
+
+let test_mid () =
+  (* The alpha witnesses used by the gadgets. *)
+  check "mid 7 8 = 15/2" true
+    Q.(equal (mid (of_int 7) (of_int 8)) (make 15 2));
+  check "mid 1 2 = 3/2" true Q.(equal (mid (of_int 1) (of_int 2)) (make 3 2));
+  check "mid 10 12 = 11" true
+    Q.(equal (mid (of_int 10) (of_int 12)) (of_int 11));
+  check "7 < 15/2" true Q.(lt (of_int 7) (make 15 2));
+  check "15/2 < 8" true Q.(lt (make 15 2) (of_int 8))
+
+let test_compare () =
+  check "1/3 < 1/2" true Q.(lt (make 1 3) (make 1 2));
+  check "-1/2 < 1/3" true Q.(lt (make (-1) 2) (make 1 3));
+  check_int "compare equal" 0 (Q.compare (Q.make 2 4) (Q.make 1 2));
+  check "le reflexive" true Q.(le (make 5 7) (make 5 7));
+  check "ge" true Q.(ge (make 5 7) (make 4 7));
+  check "min" true Q.(equal (min (make 1 3) (make 1 2)) (make 1 3));
+  check "max" true Q.(equal (max (make 1 3) (make 1 2)) (make 1 2))
+
+let test_predicates () =
+  check_int "sign pos" 1 (Q.sign (Q.make 3 4));
+  check_int "sign neg" (-1) (Q.sign (Q.make (-3) 4));
+  check_int "sign zero" 0 (Q.sign Q.zero);
+  check "is_integer 4/2" true (Q.is_integer (Q.make 4 2));
+  check "not is_integer 3/2" false (Q.is_integer (Q.make 3 2));
+  Alcotest.(check (float 1e-9)) "to_float" 0.75 (Q.to_float (Q.make 3 4))
+
+(* qcheck generators: small rationals, nonzero denominators. *)
+let arb_q =
+  QCheck.map
+    (fun (n, d) -> Q.make n (if d = 0 then 1 else d))
+    QCheck.(pair (int_range (-50) 50) (int_range (-20) 20))
+
+let prop name gen f = QCheck.Test.make ~count:300 ~name gen f
+
+let properties =
+  [
+    prop "add commutes" (QCheck.pair arb_q arb_q) (fun (a, b) ->
+        Q.equal (Q.add a b) (Q.add b a));
+    prop "mul commutes" (QCheck.pair arb_q arb_q) (fun (a, b) ->
+        Q.equal (Q.mul a b) (Q.mul b a));
+    prop "add associates" (QCheck.triple arb_q arb_q arb_q)
+      (fun (a, b, c) ->
+        Q.equal (Q.add a (Q.add b c)) (Q.add (Q.add a b) c));
+    prop "distributivity" (QCheck.triple arb_q arb_q arb_q) (fun (a, b, c) ->
+        Q.equal (Q.mul a (Q.add b c)) (Q.add (Q.mul a b) (Q.mul a c)));
+    prop "sub inverse of add" (QCheck.pair arb_q arb_q) (fun (a, b) ->
+        Q.equal (Q.sub (Q.add a b) b) a);
+    prop "compare antisymmetric" (QCheck.pair arb_q arb_q) (fun (a, b) ->
+        Q.compare a b = -Q.compare b a);
+    prop "mid between" (QCheck.pair arb_q arb_q) (fun (a, b) ->
+        let lo = Q.min a b and hi = Q.max a b in
+        let m = Q.mid a b in
+        Q.le lo m && Q.le m hi);
+    prop "to_float consistent with compare" (QCheck.pair arb_q arb_q)
+      (fun (a, b) ->
+        let c = Q.compare a b in
+        let fc = compare (Q.to_float a) (Q.to_float b) in
+        c = 0 || c = fc);
+    prop "normalised gcd 1" arb_q (fun a ->
+        let rec gcd x y = if y = 0 then x else gcd y (x mod y) in
+        a.Q.den > 0 && gcd (abs a.Q.num) a.Q.den <= 1 || a.Q.num = 0);
+  ]
+
+let suite =
+  ( "rational",
+    [
+      Alcotest.test_case "normalisation" `Quick test_normalisation;
+      Alcotest.test_case "zero denominator" `Quick test_zero_denominator;
+      Alcotest.test_case "arithmetic" `Quick test_arithmetic;
+      Alcotest.test_case "division by zero" `Quick test_division_by_zero;
+      Alcotest.test_case "interval midpoints" `Quick test_mid;
+      Alcotest.test_case "comparisons" `Quick test_compare;
+      Alcotest.test_case "predicates" `Quick test_predicates;
+    ]
+    @ List.map QCheck_alcotest.to_alcotest properties )

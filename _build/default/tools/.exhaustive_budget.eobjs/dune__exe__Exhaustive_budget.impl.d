@@ -1,0 +1,1 @@
+tools/exhaustive_budget.ml: Array Bytes Graph List Model Move Ncg_game Ncg_graph Printf Response Sys

@@ -1,0 +1,1 @@
+tools/exhaustive_budget.mli:

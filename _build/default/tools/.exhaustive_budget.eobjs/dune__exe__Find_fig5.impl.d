@@ -1,0 +1,1 @@
+tools/find_fig5.ml: Cost Graph List Model Move Ncg_game Ncg_graph Paths Printf Response

@@ -1,0 +1,1 @@
+tools/find_fig5.mli:

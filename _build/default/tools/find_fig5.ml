@@ -1,0 +1,166 @@
+(* The parametrized search that rediscovered the Fig. 5 witness shipped in
+   Ncg_instances.Fig5_sum_asg_budget.
+
+   Family: a1 carries [la1] leaves; a chain a4(..a5) of length [lch]; hub
+   groups rooted at b1, c1, d1 of sizes b, c, d with star or path shape;
+   unit-budget connectors a1->b1 (toggling to a c-vertex), b1->d1
+   (toggling wherever b1's best response goes), c1->z, d1->w, a4->t.  For
+   each candidate the 4-move pattern
+
+     a1: b1 -> c_j,  b1: d1 -> x,  a1: c_j -> b1,  b1: x -> d1
+
+   is checked move by move (strict improvements; x drawn from b1's best
+   responses), which is exactly the verification the shipped instance
+   carries.  Prints every witness found.
+
+     dune exec tools/find_fig5.exe            (a few minutes) *)
+
+open Ncg_graph
+open Ncg_game
+
+type shape = Star | Path
+
+let model_of n = Model.make Model.Asg Model.Sum n
+
+let build ~la1 ~lch ~sizes:(b, c, d) ~shapes:(sb, sc, sd) ~conn:(z, w, t) =
+  let a1 = 0 in
+  let a4 = 1 + la1 in
+  let b1 = a4 + lch in
+  let c1 = b1 + b in
+  let d1 = c1 + c in
+  let n = d1 + d in
+  let group root size = function
+    | Star -> List.init (size - 1) (fun i -> (root + i + 1, root))
+    | Path -> List.init (size - 1) (fun i -> (root + i + 1, root + i))
+  in
+  let resolve = function
+    | `A1 -> a1
+    | `A2 -> if la1 >= 1 then 1 else -1
+    | `A3 -> if la1 >= 2 then 2 else -1
+    | `A4 -> a4
+    | `A5 -> if lch >= 2 then a4 + 1 else -1
+    | `B1 -> b1
+    | `B2 -> if b >= 2 then b1 + 1 else -1
+    | `Bend -> b1 + b - 1
+    | `C1 -> c1
+    | `C2 -> if c >= 2 then c1 + 1 else -1
+    | `Cmid -> c1 + (c / 2)
+    | `Cend -> c1 + c - 1
+    | `D1 -> d1
+    | `D2 -> if d >= 2 then d1 + 1 else -1
+    | `Dend -> d1 + d - 1
+  in
+  let z = resolve z and w = resolve w and t = resolve t in
+  if z < 0 || w < 0 || t < 0 then None
+  else begin
+    let a_leaves = List.init la1 (fun i -> (1 + i, a1)) in
+    let a_chain = List.init (lch - 1) (fun i -> (a4 + i + 1, a4 + i)) in
+    let edges =
+      [ (a1, b1); (b1, d1); (c1, z); (d1, w); (a4, t) ]
+      @ a_leaves @ a_chain @ group b1 b sb @ group c1 c sc @ group d1 d sd
+    in
+    let norm (x, y) = (min x y, max x y) in
+    let pairs = List.map norm edges in
+    if
+      List.length (List.sort_uniq compare pairs) <> List.length pairs
+      || List.exists (fun (x, y) -> x = y) pairs
+    then None
+    else
+      let g = Graph.of_edges n edges in
+      if Paths.is_connected g then Some (g, (a1, b1, c1, d1)) else None
+  end
+
+let structurally_valid g move =
+  match move with
+  | Move.Swap { agent; remove; add } ->
+      Graph.has_edge g agent remove
+      && (not (Graph.has_edge g agent add))
+      && add <> agent
+  | Move.Buy _ | Move.Delete _ | Move.Set_own_edges _ | Move.Set_neighbors _
+    ->
+      false
+
+let improving model g move =
+  structurally_valid g move
+  &&
+  let e = Response.evaluate model g move in
+  Cost.lt ~unit_price:(Model.unit_price model) e.Response.after
+    e.Response.before
+
+let () =
+  let conns =
+    [ `A1; `A2; `A3; `A4; `A5; `B1; `B2; `Bend; `C1; `C2; `Cmid; `Cend;
+      `D1; `D2; `Dend ]
+  in
+  let hits = ref 0 in
+  let consider ~la1 ~lch ~sizes ~shapes ~conn ~ctarget =
+    match build ~la1 ~lch ~sizes ~shapes ~conn with
+    | None -> ()
+    | Some (g, (a1, b1, c1, d1)) ->
+        let cj = c1 + ctarget in
+        if cj < d1 then begin
+          let model = model_of (Graph.n g) in
+          let m1 = Move.Swap { agent = a1; remove = b1; add = cj } in
+          if improving model g m1 then begin
+            let t1 = Move.apply g m1 in
+            List.iter
+              (fun e ->
+                match e.Response.move with
+                | Move.Swap { remove; add = x; _ } when remove = d1 ->
+                    let t2 = Move.apply g e.Response.move in
+                    let m3 = Move.Swap { agent = a1; remove = cj; add = b1 } in
+                    if improving model g m3 then begin
+                      let t3 = Move.apply g m3 in
+                      let m4 =
+                        Move.Swap { agent = b1; remove = x; add = d1 }
+                      in
+                      if improving model g m4 then begin
+                        incr hits;
+                        let g1 = Graph.copy g in
+                        Move.undo g1 t3;
+                        Move.undo g1 t2;
+                        Move.undo g1 t1;
+                        Printf.printf "WITNESS #%d (n=%d): %s\n  moves: %s; %s; %s; %s\n%!"
+                          !hits (Graph.n g1) (Graph.to_string g1)
+                          (Move.to_string m1)
+                          (Move.to_string e.Response.move)
+                          (Move.to_string m3) (Move.to_string m4)
+                      end;
+                      Move.undo g t3
+                    end;
+                    Move.undo g t2
+                | _ -> ())
+              (Response.best_moves model g b1);
+            Move.undo g t1
+          end
+        end
+  in
+  List.iter (fun la1 ->
+      List.iter (fun lch ->
+          List.iter (fun b ->
+              List.iter (fun c ->
+                  List.iter (fun d ->
+                      List.iter (fun sb ->
+                          List.iter (fun sd ->
+                              List.iter (fun sc ->
+                                  List.iter (fun z ->
+                                      List.iter (fun w ->
+                                          List.iter (fun t ->
+                                              List.iter (fun ctarget ->
+                                                  consider ~la1 ~lch
+                                                    ~sizes:(b, c, d)
+                                                    ~shapes:(sb, sc, sd)
+                                                    ~conn:(z, w, t) ~ctarget)
+                                                [ 0; 1; 2; 3 ])
+                                            conns)
+                                        conns)
+                                    conns)
+                                [ Star; Path ])
+                            [ Star; Path ])
+                        [ Star; Path ])
+                    [ 2; 3 ])
+                [ 6; 7; 8 ])
+            [ 3; 4 ])
+        [ 1; 2 ])
+    [ 2; 3 ];
+  Printf.printf "witnesses found: %d\n" !hits
