@@ -258,7 +258,8 @@ let nocycle scale =
     incr count;
     match r.Engine.reason with
     | Engine.Cycle_detected _ -> incr cycles
-    | Engine.Converged | Engine.Step_limit -> ()
+    | Engine.Converged | Engine.Step_limit | Engine.Time_limit
+    | Engine.Invariant_violation _ -> ()
   done;
   Printf.printf "  %d random bounded-budget ASG runs, %d cycles detected\n"
     !count !cycles;

@@ -9,17 +9,40 @@ open Cmdliner
 open Ncg_game
 open Ncg_experiments
 
-let parse_ns s =
-  List.map
-    (fun part ->
-      match int_of_string_opt (String.trim part) with
-      | Some n when n >= 2 -> n
-      | Some _ | None -> failwith ("bad n: " ^ part))
-    (String.split_on_char ',' s)
+(* Comma-separated agent counts as a cmdliner converter, so a typo yields a
+   usage error instead of an uncaught exception. *)
+let ns_conv =
+  let parse s =
+    let parts = String.split_on_char ',' s in
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | part :: rest -> (
+          match int_of_string_opt (String.trim part) with
+          | Some n when n >= 2 -> go (n :: acc) rest
+          | Some n ->
+              Error
+                (`Msg
+                  (Printf.sprintf
+                     "agent count %d is too small (need at least 2)" n))
+          | None ->
+              Error
+                (`Msg
+                  (Printf.sprintf
+                     "invalid agent count %S (expected comma-separated \
+                      integers, e.g. 10,20,30)"
+                     (String.trim part))))
+    in
+    if s = "" then Error (`Msg "empty agent-count list") else go [] parts
+  in
+  let print fmt ns =
+    Format.pp_print_string fmt
+      (String.concat "," (List.map string_of_int ns))
+  in
+  Arg.conv ~docv:"NS" (parse, print)
 
 let ns_term =
   let doc = "Comma-separated agent counts, e.g. 10,20,30." in
-  Arg.(value & opt string "10,20,30,40,50" & info [ "ns" ] ~doc)
+  Arg.(value & opt ns_conv [ 10; 20; 30; 40; 50 ] & info [ "ns" ] ~doc)
 
 let trials_term =
   let doc = "Trials per configuration (paper: 10000 for ASG, 5000 for GBG)." in
@@ -30,8 +53,53 @@ let seed_term =
   Arg.(value & opt int 2013 & info [ "seed" ] ~doc)
 
 let domains_term =
-  let doc = "Worker domains for parallel trials." in
-  Arg.(value & opt int 1 & info [ "domains" ] ~doc)
+  let doc =
+    "Worker domains for parallel trials; 0 picks a machine-appropriate \
+     count automatically."
+  in
+  Arg.(value & opt int 0 & info [ "domains" ] ~doc)
+
+let resolve_domains d =
+  if d <= 0 then Ncg_parallel.Pool.recommended_domains () else d
+
+let checkpoint_term =
+  let doc =
+    "Record every completed trial to $(docv) so an interrupted sweep can \
+     be resumed with $(b,--resume)."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "checkpoint" ] ~docv:"FILE" ~doc)
+
+let resume_term =
+  let doc =
+    "Resume from the $(b,--checkpoint) file: trials already recorded there \
+     are not rerun.  The file must come from the same sweep configuration."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+(* The fingerprint ties a checkpoint file to one sweep configuration, so a
+   stale file cannot silently contaminate a resumed reproduction. *)
+let with_checkpoint ~cmd ~ns ~trials ~seed ~checkpoint ~resume k =
+  match checkpoint with
+  | None ->
+      if resume then (
+        Printf.eprintf "ncg_sim: --resume requires --checkpoint FILE\n";
+        exit 2);
+      k None
+  | Some path -> (
+      let fingerprint =
+        Printf.sprintf "%s ns=%s trials=%d seed=%d" cmd
+          (String.concat "," (List.map string_of_int ns))
+          trials seed
+      in
+      match Checkpoint.open_ ~resume ~fingerprint path with
+      | cp ->
+          Fun.protect
+            ~finally:(fun () -> Checkpoint.close cp)
+            (fun () -> k (Some cp))
+      | exception Failure msg ->
+          Printf.eprintf "ncg_sim: %s\n" msg;
+          exit 2)
 
 let out_term =
   let doc = "Also write gnuplot-ready data to $(docv)." in
@@ -53,51 +121,58 @@ let emit out value curves =
 
 let dist_of = function `Sum -> Model.Sum | `Max -> Model.Max
 
+let sweep_term cmd_name run =
+  let cmd_term = Term.const cmd_name in
+  Term.(
+    const run $ ns_term $ trials_term $ seed_term $ domains_term $ out_term
+    $ value_term
+    $ checkpoint_term $ resume_term $ cmd_term)
+
 let asg_cmd name dist_sel figure =
-  let run ns trials seed domains out value =
-    let p =
-      { (Asg_budget.default (dist_of dist_sel)) with
-        Asg_budget.ns = parse_ns ns; trials; seed; domains }
-    in
-    emit out value (Asg_budget.sweep p)
+  let run ns trials seed domains out value checkpoint resume cmd =
+    with_checkpoint ~cmd ~ns ~trials ~seed ~checkpoint ~resume (fun cp ->
+        let p =
+          { (Asg_budget.default (dist_of dist_sel)) with
+            Asg_budget.ns; trials; seed;
+            domains = resolve_domains domains;
+            checkpoint = cp }
+        in
+        emit out value (Asg_budget.sweep p))
   in
   let doc =
     Printf.sprintf "Reproduce %s: bounded-budget ASG convergence." figure
   in
-  Cmd.v (Cmd.info name ~doc)
-    Term.(
-      const run $ ns_term $ trials_term $ seed_term $ domains_term $ out_term
-      $ value_term)
+  Cmd.v (Cmd.info name ~doc) (sweep_term name run)
 
 let gbg_cmd name dist_sel figure =
-  let run ns trials seed domains out value =
-    let p =
-      { (Gbg_sweep.default (dist_of dist_sel)) with
-        Gbg_sweep.ns = parse_ns ns; trials; seed; domains }
-    in
-    emit out value (Gbg_sweep.sweep p)
+  let run ns trials seed domains out value checkpoint resume cmd =
+    with_checkpoint ~cmd ~ns ~trials ~seed ~checkpoint ~resume (fun cp ->
+        let p =
+          { (Gbg_sweep.default (dist_of dist_sel)) with
+            Gbg_sweep.ns; trials; seed;
+            domains = resolve_domains domains;
+            checkpoint = cp }
+        in
+        emit out value (Gbg_sweep.sweep p))
   in
   let doc = Printf.sprintf "Reproduce %s: GBG convergence sweep." figure in
-  Cmd.v (Cmd.info name ~doc)
-    Term.(
-      const run $ ns_term $ trials_term $ seed_term $ domains_term $ out_term
-      $ value_term)
+  Cmd.v (Cmd.info name ~doc) (sweep_term name run)
 
 let topo_cmd name dist_sel figure =
-  let run ns trials seed domains out value =
-    let p =
-      { (Topology.default (dist_of dist_sel)) with
-        Topology.ns = parse_ns ns; trials; seed; domains }
-    in
-    emit out value (Topology.sweep p)
+  let run ns trials seed domains out value checkpoint resume cmd =
+    with_checkpoint ~cmd ~ns ~trials ~seed ~checkpoint ~resume (fun cp ->
+        let p =
+          { (Topology.default (dist_of dist_sel)) with
+            Topology.ns; trials; seed;
+            domains = resolve_domains domains;
+            checkpoint = cp }
+        in
+        emit out value (Topology.sweep p))
   in
   let doc =
     Printf.sprintf "Reproduce %s: GBG starting-topology comparison." figure
   in
-  Cmd.v (Cmd.info name ~doc)
-    Term.(
-      const run $ ns_term $ trials_term $ seed_term $ domains_term $ out_term
-      $ value_term)
+  Cmd.v (Cmd.info name ~doc) (sweep_term name run)
 
 (* Empirical price of anarchy of the converged networks (Sec. 1.3's
    motivation: selfish play should end near the social optimum). *)
@@ -118,7 +193,7 @@ let poa_cmd =
         in
         Printf.printf "%6d %14.3f
 " n worst)
-      (parse_ns ns)
+      ns
   in
   let doc =
     "Empirical price of anarchy: worst social-cost ratio of converged      SUM-GBG networks vs the social optimum."

@@ -52,7 +52,10 @@ let () =
     (match result.Engine.reason with
     | Engine.Converged -> "converged"
     | Engine.Cycle_detected _ -> "cycled!"
-    | Engine.Step_limit -> "step limit");
+    | Engine.Step_limit -> "step limit"
+    | Engine.Time_limit -> "time limit"
+    | Engine.Invariant_violation v ->
+        "invariant violation: " ^ Ncg_core.Audit.violation_to_string v);
   let ops = Trajectory.count_ops result.Engine.history in
   Printf.printf "operations: %s\n"
     (Format.asprintf "%a" Trajectory.pp_op_counts ops);

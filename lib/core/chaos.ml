@@ -1,0 +1,65 @@
+type fault =
+  | Drop_half_edge
+  | Orphan_ownership
+  | Double_ownership
+  | Inject_self_loop
+  | Disconnect_vertex
+
+let all =
+  [ Drop_half_edge; Orphan_ownership; Double_ownership; Inject_self_loop;
+    Disconnect_vertex ]
+
+let label = function
+  | Drop_half_edge -> "drop-half-edge"
+  | Orphan_ownership -> "orphan-ownership"
+  | Double_ownership -> "double-ownership"
+  | Inject_self_loop -> "inject-self-loop"
+  | Disconnect_vertex -> "disconnect-vertex"
+
+let expected_kind = function
+  | Drop_half_edge -> Audit.Asymmetric_adjacency
+  | Orphan_ownership -> Audit.Ownerless_edge
+  | Double_ownership -> Audit.Doubly_owned_edge
+  | Inject_self_loop -> Audit.Self_loop
+  | Disconnect_vertex -> Audit.Disconnected
+
+let first_edge g =
+  match Graph.edges g with
+  | [] -> invalid_arg "Chaos.inject: graph has no edge to corrupt"
+  | (u, v, _) :: _ -> (u, v)
+
+let inject fault g =
+  let u, v = first_edge g in
+  match fault with
+  | Drop_half_edge -> Graph.Unsafe.drop_half_edge g u v
+  | Orphan_ownership ->
+      Graph.Unsafe.set_owner_bit g u v false;
+      Graph.Unsafe.set_owner_bit g v u false
+  | Double_ownership ->
+      Graph.Unsafe.set_owner_bit g u v true;
+      Graph.Unsafe.set_owner_bit g v u true
+  | Inject_self_loop -> Graph.Unsafe.add_self_loop g u
+  | Disconnect_vertex ->
+      List.iter (fun w -> Graph.remove_edge g u w) (Graph.neighbors g u)
+
+let detected model fault g =
+  let corrupted = Graph.copy g in
+  inject fault corrupted;
+  let violations = Audit.check_graph ~require_connected:true model corrupted in
+  let wanted = expected_kind fault in
+  List.exists (fun v -> v.Audit.kind = wanted) violations
+
+let non_improving_move_detected model g =
+  match Response.unhappy_agents model g with
+  | [] -> invalid_arg "Chaos.non_improving_move_detected: no unhappy agent"
+  | u :: _ -> (
+      match Response.improving_moves model g u with
+      | [] -> invalid_arg "Chaos.non_improving_move_detected: no move"
+      | e :: _ ->
+          (* the genuine orientation passes, the reversed one is flagged *)
+          Audit.check_move ~step:0 model ~mover:u ~before:e.Response.before
+            ~after:e.Response.after
+          = None
+          && Audit.check_move ~step:0 model ~mover:u
+               ~before:e.Response.after ~after:e.Response.before
+             <> None)

@@ -10,18 +10,20 @@ type config = {
   max_steps : int;
   detect_cycles : bool;
   record_history : bool;
+  audit : Audit.level;
+  time_budget : float option;
 }
 
 let config ?(policy = Policy.Max_cost) ?(move_rule = Best_response)
     ?(tie_break = Uniform) ?max_steps ?(detect_cycles = false)
-    ?(record_history = true) model =
+    ?(record_history = true) ?(audit = Audit.Off) ?time_budget model =
   let max_steps =
     match max_steps with
     | Some s -> s
     | None -> (100 * Model.n model) + 1000
   in
   { model; policy; move_rule; tie_break; max_steps; detect_cycles;
-    record_history }
+    record_history; audit; time_budget }
 
 type step = {
   index : int;
@@ -35,6 +37,8 @@ type stop_reason =
   | Converged
   | Cycle_detected of { first_visit : int; period : int }
   | Step_limit
+  | Time_limit
+  | Invariant_violation of Audit.violation
 
 type result = {
   reason : stop_reason;
@@ -84,19 +88,58 @@ let run ?rng cfg initial =
   let seen : (string, int) Hashtbl.t = Hashtbl.create 64 in
   if cfg.detect_cycles then Hashtbl.replace seen (state_key cfg.model g) 0;
   let history = ref [] in
+  let deadline =
+    Option.map (fun b -> Unix.gettimeofday () +. b) cfg.time_budget
+  in
+  let out_of_time () =
+    match deadline with
+    | None -> false
+    | Some d -> Unix.gettimeofday () > d
+  in
+  (* A connected network can never disconnect under improving moves (the
+     mover's own cost would become infinite), so connectivity is part of
+     the audited contract exactly when the run started connected. *)
+  let require_connected =
+    cfg.audit <> Audit.Off && Paths.is_connected g
+  in
+  let audit_graph step =
+    match Audit.check_graph ~require_connected ~step cfg.model g with
+    | [] -> None
+    | v :: _ -> Some v
+  in
   let rec loop step last =
     if step >= cfg.max_steps then (Step_limit, step)
+    else if out_of_time () then (Time_limit, step)
     else
       match Policy.select cfg.policy ~rng ~ws cfg.model g ~last with
       | None -> (Converged, step)
       | Some u -> (
           match choose_move cfg rng g u with
           | None ->
-              (* The policy only offers unhappy agents, so an improving move
-                 must exist. *)
-              assert false
+              (* The policy contract promises only unhappy agents, so an
+                 improving move must exist; surface the breach as a typed
+                 violation rather than crashing the whole sweep. *)
+              (Invariant_violation
+                 {
+                   Audit.kind = Audit.Happy_agent_selected;
+                   step;
+                   subject = Some u;
+                   detail =
+                     Printf.sprintf
+                       "policy selected agent %d with no improving move" u;
+                 },
+               step)
           | Some e ->
               let effect = Move.classify_effect g e.Response.move in
+              let contract =
+                if cfg.audit = Audit.Off then None
+                else
+                  Audit.check_move ~step cfg.model ~mover:u
+                    ~before:e.Response.before ~after:e.Response.after
+              in
+              (match contract with
+              | Some v -> (Invariant_violation v, step)
+              | None ->
               ignore (Move.apply g e.Response.move);
               if cfg.record_history then
                 history :=
@@ -109,21 +152,40 @@ let run ?rng cfg initial =
                   }
                   :: !history;
               let step = step + 1 in
-              if cfg.detect_cycles then begin
-                let key = state_key cfg.model g in
-                match Hashtbl.find_opt seen key with
-                | Some first_visit ->
-                    (Cycle_detected { first_visit; period = step - first_visit },
-                     step)
-                | None ->
-                    Hashtbl.replace seen key step;
-                    loop step (Some u)
-              end
-              else loop step (Some u))
+              match
+                if Audit.should_check cfg.audit step then audit_graph step
+                else None
+              with
+              | Some v -> (Invariant_violation v, step)
+              | None ->
+                  if cfg.detect_cycles then begin
+                    let key = state_key cfg.model g in
+                    match Hashtbl.find_opt seen key with
+                    | Some first_visit ->
+                        (Cycle_detected
+                           { first_visit; period = step - first_visit },
+                         step)
+                    | None ->
+                        Hashtbl.replace seen key step;
+                        loop step (Some u)
+                  end
+                  else loop step (Some u)))
   in
   let reason, steps = loop 0 None in
+  let reason =
+    (* Whatever the sampling level, always audit the final state. *)
+    match reason with
+    | Invariant_violation _ -> reason
+    | Converged | Cycle_detected _ | Step_limit | Time_limit -> (
+        if cfg.audit = Audit.Off then reason
+        else
+          match audit_graph steps with
+          | Some v -> Invariant_violation v
+          | None -> reason)
+  in
   { reason; steps; history = List.rev !history; final = g }
 
 let converged r = match r.reason with
   | Converged -> true
-  | Cycle_detected _ | Step_limit -> false
+  | Cycle_detected _ | Step_limit | Time_limit | Invariant_violation _ ->
+      false

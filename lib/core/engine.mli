@@ -37,6 +37,14 @@ type config = {
       (** remember every visited state (exact, labelled) and stop on
           recurrence.  Costs memory proportional to steps. *)
   record_history : bool;
+  audit : Audit.level;
+      (** invariant auditing; whenever not [Off], the final state is always
+          audited and every applied move's cost contract is checked.  If the
+          initial network is connected, connectivity is part of the audit
+          (improving moves cannot disconnect a connected network). *)
+  time_budget : float option;
+      (** wall-clock budget in seconds for this run; exceeding it stops the
+          run with {!Time_limit}. *)
 }
 
 val config :
@@ -46,10 +54,12 @@ val config :
   ?max_steps:int ->
   ?detect_cycles:bool ->
   ?record_history:bool ->
+  ?audit:Audit.level ->
+  ?time_budget:float ->
   Model.t ->
   config
 (** Defaults: max-cost policy, best response, uniform ties, [100 * n + 1000]
-    steps, cycle detection off, history on. *)
+    steps, cycle detection off, history on, audit off, no time budget. *)
 
 type step = {
   index : int;  (** 0-based position in the run *)
@@ -65,6 +75,10 @@ type stop_reason =
       (** the state after the last step was first seen after step
           [first_visit]; [period] steps separate the two visits *)
   | Step_limit
+  | Time_limit  (** the per-run wall-clock budget ran out *)
+  | Invariant_violation of Audit.violation
+      (** the auditor found a broken invariant, or the policy selected a
+          happy agent (the pre-robustness engine crashed on the latter) *)
 
 type result = {
   reason : stop_reason;

@@ -1,48 +1,69 @@
+type outcome =
+  | Finished of { reason : Engine.stop_reason; steps : int }
+  | Crashed of { exn : string; backtrace : string }
+
+let outcome_of_result (r : Engine.result) =
+  Finished { reason = r.Engine.reason; steps = r.Engine.steps }
+
 type summary = {
   runs : int;
   converged : int;
   cycles : int;
   limited : int;
+  timed_out : int;
+  faulted : int;
+  errors : int;
   avg_steps : float;
   max_steps : int;
   min_steps : int;
 }
 
-let summarize results =
-  let runs = List.length results in
-  let converged_runs =
-    List.filter (fun r -> Engine.converged r) results
+let summarize_outcomes outcomes =
+  let runs = List.length outcomes in
+  let count p = List.length (List.filter p outcomes) in
+  let reason_count p =
+    count (function Finished f -> p f.reason | Crashed _ -> false)
   in
-  let count p = List.length (List.filter p results) in
-  let cycles =
-    count (fun r ->
-        match r.Engine.reason with
-        | Engine.Cycle_detected _ -> true
-        | Engine.Converged | Engine.Step_limit -> false)
+  let converged_steps =
+    List.filter_map
+      (function
+        | Finished { reason = Engine.Converged; steps } -> Some steps
+        | Finished _ | Crashed _ -> None)
+      outcomes
   in
-  let limited =
-    count (fun r ->
-        match r.Engine.reason with
-        | Engine.Step_limit -> true
-        | Engine.Converged | Engine.Cycle_detected _ -> false)
-  in
-  let steps = List.map (fun r -> r.Engine.steps) converged_runs in
-  let converged = List.length converged_runs in
+  let converged = List.length converged_steps in
   let avg_steps =
     if converged = 0 then nan
-    else float_of_int (List.fold_left ( + ) 0 steps) /. float_of_int converged
+    else
+      float_of_int (List.fold_left ( + ) 0 converged_steps)
+      /. float_of_int converged
   in
   {
     runs;
     converged;
-    cycles;
-    limited;
+    cycles =
+      reason_count (function Engine.Cycle_detected _ -> true | _ -> false);
+    limited = reason_count (( = ) Engine.Step_limit);
+    timed_out = reason_count (( = ) Engine.Time_limit);
+    faulted =
+      reason_count (function
+        | Engine.Invariant_violation _ -> true
+        | _ -> false);
+    errors = count (function Crashed _ -> true | Finished _ -> false);
     avg_steps;
-    max_steps = List.fold_left max 0 steps;
-    min_steps = (match steps with [] -> 0 | s :: rest -> List.fold_left min s rest);
+    max_steps = List.fold_left max 0 converged_steps;
+    min_steps =
+      (match converged_steps with
+      | [] -> 0
+      | s :: rest -> List.fold_left min s rest);
   }
+
+let summarize results = summarize_outcomes (List.map outcome_of_result results)
 
 let pp fmt s =
   Format.fprintf fmt
     "runs=%d converged=%d cycles=%d limited=%d avg=%.2f max=%d min=%d" s.runs
-    s.converged s.cycles s.limited s.avg_steps s.max_steps s.min_steps
+    s.converged s.cycles s.limited s.avg_steps s.max_steps s.min_steps;
+  if s.timed_out > 0 then Format.fprintf fmt " timed_out=%d" s.timed_out;
+  if s.faulted > 0 then Format.fprintf fmt " faulted=%d" s.faulted;
+  if s.errors > 0 then Format.fprintf fmt " errors=%d" s.errors

@@ -2,18 +2,35 @@
 
     The paper's plots report, per configuration, the average and the
     maximum number of steps until convergence over many random trials
-    (Figs. 7, 8, 11-14); this is the matching reduction. *)
+    (Figs. 7, 8, 11-14); this is the matching reduction.  Beyond the
+    paper, a batch also tallies the degraded outcomes of the robustness
+    layer: per-trial budget exhaustion, invariant violations and crashed
+    trials, so one bad trial is a counted data point rather than a lost
+    sweep. *)
+
+type outcome =
+  | Finished of { reason : Engine.stop_reason; steps : int }
+      (** the trial ran to a stop reason (including degraded ones) *)
+  | Crashed of { exn : string; backtrace : string }
+      (** the trial raised; captured, never propagated *)
+
+val outcome_of_result : Engine.result -> outcome
 
 type summary = {
   runs : int;
   converged : int;
   cycles : int;  (** runs that revisited a state *)
   limited : int;  (** runs stopped by the step budget *)
+  timed_out : int;  (** runs stopped by the wall-clock budget *)
+  faulted : int;  (** runs stopped by an invariant violation *)
+  errors : int;  (** trials that raised an exception *)
   avg_steps : float;  (** over converged runs; [nan] if none *)
   max_steps : int;  (** over converged runs; 0 if none *)
   min_steps : int;  (** over converged runs; 0 if none *)
 }
 
 val summarize : Engine.result list -> summary
+
+val summarize_outcomes : outcome list -> summary
 
 val pp : Format.formatter -> summary -> unit

@@ -6,6 +6,7 @@ type params = {
   trials : int;
   seed : int;
   domains : int;
+  checkpoint : Checkpoint.t option;
 }
 
 let paper_policies =
@@ -20,24 +21,29 @@ let default dist =
     trials = 20;
     seed = 2013;
     domains = 1;
+    checkpoint = None;
   }
 
-let point p k policy n =
+let point p label k policy n =
   let model = Model.make Model.Asg p.dist n in
   let spec =
     Runner.spec ~policy model (fun rng -> Gen.random_budget_network rng n k)
   in
-  { Series.n; summary = Runner.run ~domains:p.domains ~seed:p.seed
-        ~trials:p.trials spec }
+  let key = Printf.sprintf "%s|n=%d" label n in
+  { Series.n;
+    summary =
+      Runner.run ~domains:p.domains ~seed:p.seed ?checkpoint:p.checkpoint
+        ~key ~trials:p.trials spec }
 
 let sweep p =
   List.concat_map
     (fun k ->
       List.map
         (fun (policy_name, policy) ->
+          let label = Printf.sprintf "k=%d %s" k policy_name in
           {
-            Series.label = Printf.sprintf "k=%d %s" k policy_name;
-            points = List.map (point p k policy) p.ns;
+            Series.label;
+            points = List.map (point p label k policy) p.ns;
           })
         p.policies)
     p.budgets

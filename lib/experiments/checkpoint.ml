@@ -1,0 +1,147 @@
+let magic = "# ncg-checkpoint v1"
+
+type t = {
+  path : string;
+  oc : out_channel;
+  loaded : (string * int, Stats.outcome) Hashtbl.t;
+}
+
+let path t = t.path
+
+(* One field per tab; [String.escaped] keeps free text (violation details,
+   exception messages) on one line and tab-free. *)
+let encode_outcome = function
+  | Stats.Finished { reason; steps } -> (
+      match reason with
+      | Engine.Converged -> Printf.sprintf "ok\t%d" steps
+      | Engine.Cycle_detected { first_visit; period } ->
+          Printf.sprintf "cycle\t%d\t%d\t%d" steps first_visit period
+      | Engine.Step_limit -> Printf.sprintf "limit\t%d" steps
+      | Engine.Time_limit -> Printf.sprintf "time\t%d" steps
+      | Engine.Invariant_violation v ->
+          Printf.sprintf "fault\t%d\t%s\t%d\t%d\t%s" steps
+            (Audit.kind_label v.Audit.kind)
+            v.Audit.step
+            (match v.Audit.subject with Some u -> u | None -> -1)
+            (String.escaped v.Audit.detail))
+  | Stats.Crashed { exn; backtrace } ->
+      Printf.sprintf "error\t%s\t%s" (String.escaped exn)
+        (String.escaped backtrace)
+
+let decode_outcome fields =
+  let int s = int_of_string_opt s in
+  match fields with
+  | [ "ok"; steps ] ->
+      Option.map
+        (fun steps -> Stats.Finished { reason = Engine.Converged; steps })
+        (int steps)
+  | [ "cycle"; steps; first_visit; period ] -> (
+      match (int steps, int first_visit, int period) with
+      | Some steps, Some first_visit, Some period ->
+          Some
+            (Stats.Finished
+               { reason = Engine.Cycle_detected { first_visit; period };
+                 steps })
+      | _ -> None)
+  | [ "limit"; steps ] ->
+      Option.map
+        (fun steps -> Stats.Finished { reason = Engine.Step_limit; steps })
+        (int steps)
+  | [ "time"; steps ] ->
+      Option.map
+        (fun steps -> Stats.Finished { reason = Engine.Time_limit; steps })
+        (int steps)
+  | [ "fault"; steps; kind; vstep; subject; detail ] -> (
+      match (int steps, Audit.kind_of_label kind, int vstep, int subject)
+      with
+      | Some steps, Some kind, Some vstep, Some subject ->
+          let detail = try Scanf.unescaped detail with _ -> detail in
+          Some
+            (Stats.Finished
+               {
+                 reason =
+                   Engine.Invariant_violation
+                     {
+                       Audit.kind;
+                       step = vstep;
+                       subject = (if subject < 0 then None else Some subject);
+                       detail;
+                     };
+                 steps;
+               })
+      | _ -> None)
+  | [ "error"; exn; backtrace ] ->
+      let unescape s = try Scanf.unescaped s with _ -> s in
+      Some
+        (Stats.Crashed
+           { exn = unescape exn; backtrace = unescape backtrace })
+  | _ -> None
+
+let load_existing path fingerprint =
+  let loaded = Hashtbl.create 256 in
+  let ic = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      (match input_line ic with
+      | header -> (
+          match String.split_on_char '\t' header with
+          | [ m; fp ] when m = magic ->
+              if fp <> String.escaped fingerprint then
+                failwith
+                  (Printf.sprintf
+                     "checkpoint %s belongs to a different sweep (found %S, \
+                      expected %S)"
+                     path fp (String.escaped fingerprint))
+          | _ ->
+              failwith
+                (Printf.sprintf "%s is not an ncg checkpoint file" path))
+      | exception End_of_file ->
+          failwith (Printf.sprintf "%s is empty" path));
+      (try
+         while true do
+           let line = input_line ic in
+           match String.split_on_char '\t' line with
+           | key :: trial :: rest -> (
+               match (int_of_string_opt trial, decode_outcome rest) with
+               | Some trial, Some outcome ->
+                   Hashtbl.replace loaded (key, trial) outcome
+               | _ -> (* torn or foreign line: that trial reruns *) ())
+           | _ -> ()
+         done
+       with End_of_file -> ());
+      loaded)
+
+let open_ ?(resume = false) ~fingerprint path =
+  let existing = resume && Sys.file_exists path in
+  let loaded =
+    if existing then load_existing path fingerprint else Hashtbl.create 16
+  in
+  let oc =
+    if existing then
+      open_out_gen [ Open_append; Open_creat ] 0o644 path
+    else begin
+      let oc = open_out path in
+      Printf.fprintf oc "%s\t%s\n" magic (String.escaped fingerprint);
+      flush oc;
+      oc
+    end
+  in
+  { path; oc; loaded }
+
+let close t = close_out_noerr t.oc
+
+let sanitize_key key =
+  String.map (function '\t' | '\n' | '\r' -> ' ' | c -> c) key
+
+let completed t ~key =
+  let key = sanitize_key key in
+  Hashtbl.fold
+    (fun (k, trial) outcome acc ->
+      if k = key then (trial, outcome) :: acc else acc)
+    t.loaded []
+
+let record t ~key ~trial outcome =
+  Printf.fprintf t.oc "%s\t%d\t%s\n" (sanitize_key key) trial
+    (encode_outcome outcome);
+  flush t.oc

@@ -1,0 +1,39 @@
+(** Crash-safe checkpointing for long trial sweeps.
+
+    A checkpoint file records every completed trial of a sweep as one
+    appended, flushed text line, so an interrupted 10k-trial figure
+    reproduction restarts where it left off instead of from zero.  Because
+    each trial's RNG derives deterministically from the batch seed and the
+    trial index ({!Runner}), a resumed sweep produces bit-identical
+    statistics to an uninterrupted one.
+
+    Format (tab-separated, one record per line):
+    {v
+    # ncg-checkpoint v1 <TAB> <fingerprint>
+    <key> <TAB> <trial> <TAB> <outcome tag> <TAB> <outcome fields...>
+    v}
+    where [key] names the sweep point (e.g. ["k=2 max cost|n=40"]) and the
+    outcome tags are [ok], [cycle], [limit], [time], [fault] and [error] —
+    the full {!Stats.outcome} taxonomy.  A torn final line (the crash case)
+    is ignored on load; that trial simply reruns. *)
+
+type t
+
+val open_ : ?resume:bool -> fingerprint:string -> string -> t
+(** [open_ ~fingerprint path] starts a fresh checkpoint, truncating any
+    existing file.  With [~resume:true] an existing file's completed
+    records are loaded first and subsequent records are appended.
+    @raise Failure on resume if the file belongs to a different sweep
+    configuration (fingerprint mismatch) or is not a checkpoint file. *)
+
+val close : t -> unit
+
+val completed : t -> key:string -> (int * Stats.outcome) list
+(** Loaded outcomes for one sweep point, by trial index; empty unless the
+    checkpoint was opened with [~resume:true] on an existing file. *)
+
+val record : t -> key:string -> trial:int -> Stats.outcome -> unit
+(** Appends one completed trial and flushes, so the record survives an
+    interruption immediately after. *)
+
+val path : t -> string

@@ -16,6 +16,7 @@ type params = {
   trials : int;
   seed : int;
   domains : int;
+  checkpoint : Checkpoint.t option;
 }
 
 let default dist =
@@ -28,17 +29,21 @@ let default dist =
     trials = 20;
     seed = 2013;
     domains = 1;
+    checkpoint = None;
   }
 
-let point p m_factor alpha policy n =
+let point p label m_factor alpha policy n =
   let m = min (m_factor * n) (n * (n - 1) / 2) in
   let model = Model.make ~alpha:(alpha_of alpha n) Model.Gbg p.dist n in
   let spec =
     Runner.spec ~policy ~tie_break:Engine.Prefer_deletion model (fun rng ->
         Gen.random_m_edges rng n m)
   in
+  let key = Printf.sprintf "%s|n=%d" label n in
   { Series.n;
-    summary = Runner.run ~domains:p.domains ~seed:p.seed ~trials:p.trials spec
+    summary =
+      Runner.run ~domains:p.domains ~seed:p.seed ?checkpoint:p.checkpoint
+        ~key ~trials:p.trials spec
   }
 
 let sweep p =
@@ -48,11 +53,13 @@ let sweep p =
         (fun alpha ->
           List.map
             (fun (policy_name, policy) ->
+              let label =
+                Printf.sprintf "m=%dn, %s, %s" m_factor (alpha_label alpha)
+                  policy_name
+              in
               {
-                Series.label =
-                  Printf.sprintf "m=%dn, %s, %s" m_factor
-                    (alpha_label alpha) policy_name;
-                points = List.map (point p m_factor alpha policy) p.ns;
+                Series.label;
+                points = List.map (point p label m_factor alpha policy) p.ns;
               })
             p.policies)
         p.alphas)

@@ -25,6 +25,9 @@ type params = {
   trials : int;  (** paper: 5000 *)
   seed : int;
   domains : int;
+  checkpoint : Checkpoint.t option;
+      (** record completed trials for crash-safe resume; keys are
+          ["<label>|n=<n>"] *)
 }
 
 val default : Model.dist_mode -> params

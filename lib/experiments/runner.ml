@@ -5,16 +5,19 @@ type spec = {
   tie_break : Engine.tie_break;
   max_steps : int;
   detect_cycles : bool;
+  audit : Audit.level;
+  time_budget : float option;
 }
 
 let spec ?(policy = Policy.Max_cost) ?(tie_break = Engine.Uniform) ?max_steps
-    ?(detect_cycles = true) model generate =
+    ?(detect_cycles = true) ?(audit = Audit.Off) ?time_budget model generate =
   let max_steps =
     match max_steps with
     | Some s -> s
     | None -> (50 * Model.n model) + 2000
   in
-  { model; generate; policy; tie_break; max_steps; detect_cycles }
+  { model; generate; policy; tie_break; max_steps; detect_cycles; audit;
+    time_budget }
 
 let run_trial t ~seed ~trial =
   let rng = Random.State.make [| seed; trial; Model.n t.model |] in
@@ -22,14 +25,82 @@ let run_trial t ~seed ~trial =
   let cfg =
     Engine.config ~policy:t.policy ~tie_break:t.tie_break
       ~max_steps:t.max_steps ~detect_cycles:t.detect_cycles
-      ~record_history:false t.model
+      ~record_history:false ~audit:t.audit ?time_budget:t.time_budget t.model
   in
   Engine.run ~rng cfg g
 
-let run ?(domains = 1) ?(seed = 2013) ~trials t =
-  let indices = List.init trials (fun i -> i) in
-  let results =
-    Ncg_parallel.Pool.map ~domains (fun trial -> run_trial t ~seed ~trial)
-      indices
+let trial_outcome t ~seed trial =
+  Stats.outcome_of_result (run_trial t ~seed ~trial)
+
+let outcome_of_capture = function
+  | Ok outcome -> outcome
+  | Error (exn, backtrace) ->
+      Stats.Crashed
+        {
+          exn = Printexc.to_string exn;
+          backtrace = Printexc.raw_backtrace_to_string backtrace;
+        }
+
+let run_outcomes ?(domains = 1) ?(seed = 2013) ?checkpoint ?(key = "")
+    ~trials t =
+  let outcomes = Array.make trials None in
+  (match checkpoint with
+  | None -> ()
+  | Some cp ->
+      List.iter
+        (fun (trial, outcome) ->
+          if trial >= 0 && trial < trials then
+            outcomes.(trial) <- Some outcome)
+        (Checkpoint.completed cp ~key));
+  let pending =
+    List.filter
+      (fun trial -> outcomes.(trial) = None)
+      (List.init trials (fun i -> i))
   in
-  Stats.summarize results
+  (* Without a checkpoint, one fan-out over all trials (no bookkeeping on
+     the hot path).  With one, work in batches so completed trials hit disk
+     periodically and an interruption loses at most one batch. *)
+  let batches =
+    match checkpoint with
+    | None -> (match pending with [] -> [] | _ -> [ pending ])
+    | Some _ ->
+        let batch_size = 8 * max 1 domains in
+        let rec split = function
+          | [] -> []
+          | l ->
+              let rec take k = function
+                | rest when k = 0 -> ([], rest)
+                | [] -> ([], [])
+                | x :: rest ->
+                    let taken, dropped = take (k - 1) rest in
+                    (x :: taken, dropped)
+              in
+              let batch, rest = take batch_size l in
+              batch :: split rest
+        in
+        split pending
+  in
+  List.iter
+    (fun batch ->
+      let captured =
+        Ncg_parallel.Pool.map_result ~domains
+          (fun trial -> trial_outcome t ~seed trial)
+          batch
+      in
+      List.iter2
+        (fun trial capture ->
+          let outcome = outcome_of_capture capture in
+          outcomes.(trial) <- Some outcome;
+          match checkpoint with
+          | Some cp -> Checkpoint.record cp ~key ~trial outcome
+          | None -> ())
+        batch captured)
+    batches;
+  Array.to_list outcomes
+  |> List.map (function
+       | Some o -> o
+       | None -> assert false (* every index is completed or pending *))
+
+let run ?domains ?seed ?checkpoint ?key ~trials t =
+  Stats.summarize_outcomes
+    (run_outcomes ?domains ?seed ?checkpoint ?key ~trials t)

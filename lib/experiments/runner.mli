@@ -4,15 +4,23 @@
     configuration, run T trials on fresh random initial networks and report
     the average and maximum number of steps until convergence.  Every trial
     derives its RNG deterministically from [seed] and the trial index, so a
-    batch is reproducible and independent of the number of domains. *)
+    batch is reproducible and independent of the number of domains — and,
+    via {!Checkpoint}, of where an interrupted batch was resumed.
+
+    Robustness: a trial that raises becomes a counted {!Stats.Crashed}
+    outcome instead of aborting the batch; per-trial step and wall-clock
+    budgets degrade into [Step_limit]/[Time_limit] outcomes; the invariant
+    auditor can watch every trial. *)
 
 type spec = {
   model : Model.t;
   generate : Random.State.t -> Graph.t;  (** fresh initial network *)
   policy : Policy.t;
   tie_break : Engine.tie_break;
-  max_steps : int;
+  max_steps : int;  (** per-trial step budget *)
   detect_cycles : bool;
+  audit : Audit.level;
+  time_budget : float option;  (** per-trial wall-clock budget, seconds *)
 }
 
 val spec :
@@ -20,14 +28,37 @@ val spec :
   ?tie_break:Engine.tie_break ->
   ?max_steps:int ->
   ?detect_cycles:bool ->
+  ?audit:Audit.level ->
+  ?time_budget:float ->
   Model.t ->
   (Random.State.t -> Graph.t) ->
   spec
 (** Defaults: max-cost policy, uniform ties, [50 * n + 2000] steps, cycle
-    detection on (the paper watched for cycles in every run). *)
+    detection on (the paper watched for cycles in every run), audit off,
+    no time budget. *)
 
 val run_trial : spec -> seed:int -> trial:int -> Engine.result
 
-val run : ?domains:int -> ?seed:int -> trials:int -> spec -> Stats.summary
+val run_outcomes :
+  ?domains:int ->
+  ?seed:int ->
+  ?checkpoint:Checkpoint.t ->
+  ?key:string ->
+  trials:int ->
+  spec ->
+  Stats.outcome list
+(** All trial outcomes in trial order.  With [checkpoint], already-recorded
+    trials (under [key], default [""]) are taken from the checkpoint and
+    each freshly completed batch is recorded to it. *)
+
+val run :
+  ?domains:int ->
+  ?seed:int ->
+  ?checkpoint:Checkpoint.t ->
+  ?key:string ->
+  trials:int ->
+  spec ->
+  Stats.summary
 (** [seed] defaults to 2013 (the paper's year).  Results are deterministic
-    for fixed [seed] and [trials]. *)
+    for fixed [seed] and [trials], whatever [domains] and however the batch
+    was interrupted and resumed. *)

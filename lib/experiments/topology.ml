@@ -20,6 +20,7 @@ type params = {
   trials : int;
   seed : int;
   domains : int;
+  checkpoint : Checkpoint.t option;
 }
 
 let default dist =
@@ -34,9 +35,10 @@ let default dist =
     trials = 20;
     seed = 2013;
     domains = 1;
+    checkpoint = None;
   }
 
-let point p setting alpha policy n =
+let point p label setting alpha policy n =
   let model =
     Model.make ~alpha:(Gbg_sweep.alpha_of alpha n) Model.Gbg p.dist n
   in
@@ -44,8 +46,11 @@ let point p setting alpha policy n =
     Runner.spec ~policy ~tie_break:Engine.Prefer_deletion model (fun rng ->
         generate setting rng n)
   in
+  let key = Printf.sprintf "%s|n=%d" label n in
   { Series.n;
-    summary = Runner.run ~domains:p.domains ~seed:p.seed ~trials:p.trials spec
+    summary =
+      Runner.run ~domains:p.domains ~seed:p.seed ?checkpoint:p.checkpoint
+        ~key ~trials:p.trials spec
   }
 
 let sweep p =
@@ -55,11 +60,13 @@ let sweep p =
         (fun alpha ->
           List.map
             (fun (policy_name, policy) ->
+              let label =
+                Printf.sprintf "%s, %s, %s" (setting_label setting)
+                  (Gbg_sweep.alpha_label alpha) policy_name
+              in
               {
-                Series.label =
-                  Printf.sprintf "%s, %s, %s" (setting_label setting)
-                    (Gbg_sweep.alpha_label alpha) policy_name;
-                points = List.map (point p setting alpha policy) p.ns;
+                Series.label;
+                points = List.map (point p label setting alpha policy) p.ns;
               })
             p.policies)
         p.alphas)

@@ -22,6 +22,9 @@ type params = {
   trials : int;
   seed : int;
   domains : int;
+  checkpoint : Checkpoint.t option;
+      (** record completed trials for crash-safe resume; keys are
+          ["<label>|n=<n>"] *)
 }
 
 val default : Model.dist_mode -> params

@@ -120,6 +120,25 @@ let of_unowned_edges size pairs =
 
 let vertices g = List.init g.size (fun i -> i)
 
+module Unsafe = struct
+  let drop_half_edge g u v =
+    check_vertex g u "Unsafe.drop_half_edge";
+    check_vertex g v "Unsafe.drop_half_edge";
+    g.adj.(u).(v) <- false;
+    g.nbrs.(u) <- List.filter (fun w -> w <> v) g.nbrs.(u)
+
+  let set_owner_bit g u v b =
+    check_vertex g u "Unsafe.set_owner_bit";
+    check_vertex g v "Unsafe.set_owner_bit";
+    g.owner_of.(u).(v) <- b
+
+  let add_self_loop g u =
+    check_vertex g u "Unsafe.add_self_loop";
+    g.adj.(u).(u) <- true;
+    g.nbrs.(u) <- u :: g.nbrs.(u);
+    g.edge_count <- g.edge_count + 1
+end
+
 let pp fmt g =
   Format.fprintf fmt "{n=%d;" g.size;
   iter_edges

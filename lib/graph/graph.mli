@@ -83,6 +83,27 @@ val of_unowned_edges : int -> (int * int) list -> t
 val vertices : t -> int list
 (** [0; 1; ...; n-1]. *)
 
+(** Deliberate invariant breakage for fault injection.
+
+    The normal interface validates every mutation, so a correctly working
+    system can never produce an ill-formed graph.  Robustness testing needs
+    exactly such graphs: the chaos harness uses these hooks to corrupt a
+    network and then asserts that the invariant auditor notices.  Never call
+    these outside fault-injection code — every other operation on a
+    corrupted graph has undefined behavior. *)
+module Unsafe : sig
+  val drop_half_edge : t -> int -> int -> unit
+  (** [drop_half_edge g u v] erases [v] from [u]'s adjacency only, leaving
+      [v] still believing the edge exists — a dangling half-edge. *)
+
+  val set_owner_bit : t -> int -> int -> bool -> unit
+  (** Raw write to the ownership bit of the directed pair [(u, v)]; can
+      make an edge ownerless or owned by both endpoints. *)
+
+  val add_self_loop : t -> int -> unit
+  (** Attaches the forbidden edge [{u, u}]. *)
+end
+
 val pp : Format.formatter -> t -> unit
 (** Compact debugging form, e.g. [{n=4; 0->1 2->1 2->3}] where [a->b] means
     edge [{a, b}] owned by [a]. *)

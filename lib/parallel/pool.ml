@@ -20,20 +20,39 @@ let chunk k items =
   in
   go 0 items []
 
-let map ?(domains = 1) f items =
-  if domains <= 1 || List.length items <= 1 then List.map f items
+(* Capture per item, inside whichever domain runs it: one raising item must
+   not lose the completed work of its siblings. *)
+let protect f x =
+  try Ok (f x)
+  with e ->
+    let bt = Printexc.get_raw_backtrace () in
+    Error (e, bt)
+
+let map_result ?(domains = 1) f items =
+  if domains <= 1 || List.length items <= 1 then List.map (protect f) items
   else begin
     let chunks = chunk (min domains (List.length items)) items in
     match chunks with
     | [] -> []
     | first :: others ->
         let handles =
-          List.map (fun c -> Domain.spawn (fun () -> List.map f c)) others
+          List.map
+            (fun c -> Domain.spawn (fun () -> List.map (protect f) c))
+            others
         in
         (* Work on the first chunk in the calling domain. *)
-        let head = List.map f first in
+        let head = List.map (protect f) first in
         head @ List.concat_map Domain.join handles
   end
+
+let map ?(domains = 1) f items =
+  if domains <= 1 || List.length items <= 1 then List.map f items
+  else
+    List.map
+      (function
+        | Ok y -> y
+        | Error (e, bt) -> Printexc.raise_with_backtrace e bt)
+      (map_result ~domains f items)
 
 let map_reduce ?domains ~map:f ~combine init items =
   List.fold_left combine init (map ?domains f items)

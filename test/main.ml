@@ -6,6 +6,7 @@ let () =
       Suite_graph.suite;
       Suite_game.suite;
       Suite_core.suite;
+      Suite_parallel.suite;
       Suite_instances.suite;
       Suite_search.suite;
       Suite_experiments.suite;

@@ -109,7 +109,8 @@ let test_engine_cycle_detection () =
   match r.Engine.reason with
   | Engine.Cycle_detected { period; _ } ->
       check_int "Fig. 3 cycle has period 4" 4 period
-  | Engine.Converged | Engine.Step_limit ->
+  | Engine.Converged | Engine.Step_limit | Engine.Time_limit
+  | Engine.Invariant_violation _ ->
       Alcotest.fail "Fig. 3 must cycle"
 
 let test_engine_any_improving () =
@@ -272,6 +273,92 @@ let prop_tree_lemmas =
            (improving_tree_swaps model g))
 
 (* ------------------------------------------------------------------ *)
+(* Audit and Chaos                                                     *)
+(* ------------------------------------------------------------------ *)
+
+let test_audit_clean () =
+  let owned = sum_asg 8 in
+  let g = Gen.random_budget_network (Random.State.make [| 5 |]) 8 2 in
+  check "clean owned graph has no violations" true
+    (Audit.check_graph owned g = []);
+  check "clean graph passes with connectivity required" true
+    (Audit.check_graph ~require_connected:true owned (Gen.star 8) = []);
+  let unowned = max_sg 6 in
+  check "clean unowned graph has no violations" true
+    (Audit.check_graph unowned (Gen.path 6) = [])
+
+let test_audit_detects_all_faults () =
+  let model = sum_asg 9 in
+  let g = Gen.random_budget_network (Random.State.make [| 7 |]) 9 2 in
+  List.iter
+    (fun fault ->
+      check (Printf.sprintf "fault %s detected" (Chaos.label fault)) true
+        (Chaos.detected model fault g))
+    Chaos.all;
+  check "non-improving move flagged" true
+    (Chaos.non_improving_move_detected model (Gen.path 9))
+
+let test_audit_ownership_gated () =
+  (* An ownerless edge is a fault only in games that use ownership. *)
+  let g = Gen.path 4 in
+  Graph.Unsafe.set_owner_bit g 0 1 false;
+  Graph.Unsafe.set_owner_bit g 1 0 false;
+  check "ownerless flagged under ASG" true
+    (List.exists
+       (fun v -> v.Audit.kind = Audit.Ownerless_edge)
+       (Audit.check_graph (sum_asg 4) g));
+  check "ignored in the ownership-free SG" true
+    (Audit.check_graph (max_sg 4) g = [])
+
+let test_audit_kind_labels_roundtrip () =
+  List.iter
+    (fun fault ->
+      let kind = Chaos.expected_kind fault in
+      check "label roundtrip" true
+        (Audit.kind_of_label (Audit.kind_label kind) = Some kind))
+    Chaos.all
+
+let test_engine_audit_no_false_positives () =
+  let model = sum_asg 10 in
+  let g = Gen.random_budget_network (Random.State.make [| 13 |]) 10 2 in
+  let run audit =
+    Engine.run
+      ~rng:(Random.State.make [| 21 |])
+      (Engine.config ~audit model) g
+  in
+  let plain = run Audit.Off and audited = run Audit.Every_step in
+  check "audited run still converges" true (Engine.converged audited);
+  check_int "audit does not change the trajectory" plain.Engine.steps
+    audited.Engine.steps;
+  let sampled = run (Audit.Sampled 3) in
+  check "sampled audit converges too" true (Engine.converged sampled)
+
+let test_engine_happy_agent_violation () =
+  (* On P5 under MAX-SG the middle agent 2 is happy (cf. the adversarial
+     policy test above).  A buggy scheduler that selects it anyway used to
+     crash the engine with [assert false]; now it is a typed outcome. *)
+  let model = max_sg 5 in
+  let lying_policy = Policy.Adversarial (fun _ _ -> Some 2) in
+  let r = Engine.run (Engine.config ~policy:lying_policy model) (Gen.path 5)
+  in
+  match r.Engine.reason with
+  | Engine.Invariant_violation v ->
+      check "flags the happy mover" true
+        (v.Audit.kind = Audit.Happy_agent_selected && v.Audit.subject = Some 2)
+  | _ -> Alcotest.fail "expected Invariant_violation"
+
+let test_engine_time_budget () =
+  let model = max_sg 15 in
+  let cfg = Engine.config ~time_budget:(-1.0) model in
+  let r = Engine.run cfg (Gen.path 15) in
+  check "expired budget stops immediately" true
+    (r.Engine.reason = Engine.Time_limit);
+  check_int "no steps taken" 0 r.Engine.steps;
+  let generous = Engine.config ~time_budget:3600.0 model in
+  check "generous budget converges" true
+    (Engine.converged (Engine.run generous (Gen.path 15)))
+
+(* ------------------------------------------------------------------ *)
 (* Stats and Trajectory                                                *)
 (* ------------------------------------------------------------------ *)
 
@@ -361,6 +448,18 @@ let suite =
       Alcotest.test_case "round robin" `Quick test_engine_round_robin;
       Alcotest.test_case "deletion preference" `Quick
         test_engine_prefer_deletion;
+      Alcotest.test_case "audit clean graphs" `Quick test_audit_clean;
+      Alcotest.test_case "audit detects every fault class" `Quick
+        test_audit_detects_all_faults;
+      Alcotest.test_case "audit ownership gating" `Quick
+        test_audit_ownership_gated;
+      Alcotest.test_case "audit kind labels" `Quick
+        test_audit_kind_labels_roundtrip;
+      Alcotest.test_case "audited engine runs clean" `Quick
+        test_engine_audit_no_false_positives;
+      Alcotest.test_case "happy-mover violation" `Quick
+        test_engine_happy_agent_violation;
+      Alcotest.test_case "engine time budget" `Quick test_engine_time_budget;
       Alcotest.test_case "bound formulas" `Quick test_bounds;
       Alcotest.test_case "tree shapes" `Quick test_shapes;
       Alcotest.test_case "stats" `Quick test_stats;

@@ -53,6 +53,172 @@ let test_runner_converges () =
   check "within 5n" true (s.Stats.max_steps <= 5 * 12)
 
 (* ------------------------------------------------------------------ *)
+(* Robustness: crashing trials, budgets, checkpoint/resume             *)
+(* ------------------------------------------------------------------ *)
+
+let test_runner_survives_crashing_trial () =
+  let model = Model.make Model.Asg Model.Sum 10 in
+  let trial_counter = Atomic.make 0 in
+  let spec =
+    Runner.spec model (fun rng ->
+        let k = Atomic.fetch_and_add trial_counter 1 in
+        if k = 3 then failwith "injected trial failure";
+        Ncg_graph.Gen.random_budget_network rng 10 2)
+  in
+  let s = Runner.run ~trials:8 spec in
+  check_int "all trials counted" 8 s.Stats.runs;
+  check_int "one error recorded" 1 s.Stats.errors;
+  check_int "seven trials converged" 7 s.Stats.converged
+
+let test_runner_time_budget () =
+  let model = Model.make Model.Asg Model.Sum 12 in
+  let spec =
+    Runner.spec ~time_budget:(-1.0) model (fun rng ->
+        Ncg_graph.Gen.random_budget_network rng 12 2)
+  in
+  let s = Runner.run ~trials:5 spec in
+  check_int "every trial hit the wall clock" 5 s.Stats.timed_out;
+  check_int "none converged" 0 s.Stats.converged
+
+let test_runner_audited () =
+  let model = Model.make Model.Asg Model.Sum 12 in
+  let spec =
+    Runner.spec ~audit:Ncg_core.Audit.Every_step model (fun rng ->
+        Ncg_graph.Gen.random_budget_network rng 12 2)
+  in
+  let plain =
+    Runner.run ~trials:6
+      (Runner.spec model (fun rng ->
+           Ncg_graph.Gen.random_budget_network rng 12 2))
+  in
+  let audited = Runner.run ~trials:6 spec in
+  check_int "no violations on healthy dynamics" 0 audited.Stats.faulted;
+  check "audit does not change the statistics" true
+    (plain.Stats.avg_steps = audited.Stats.avg_steps
+    && plain.Stats.max_steps = audited.Stats.max_steps)
+
+let with_temp_checkpoint f =
+  let path = Filename.temp_file "ncg_ckpt" ".tsv" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () -> f path)
+
+let test_checkpoint_resume_parity () =
+  with_temp_checkpoint (fun path ->
+      let spec () = small_spec () in
+      let uninterrupted = Runner.run ~trials:9 (spec ()) in
+      (* phase 1: run only a prefix of the trials, recording them *)
+      let cp = Checkpoint.open_ ~fingerprint:"parity" path in
+      let partial =
+        Runner.run_outcomes ~checkpoint:cp ~key:"pt" ~trials:4 (spec ())
+      in
+      Checkpoint.close cp;
+      check_int "four recorded" 4 (List.length partial);
+      (* phase 2: resume with the full trial count; the four completed
+         trials load from disk, the rest run fresh *)
+      let cp = Checkpoint.open_ ~resume:true ~fingerprint:"parity" path in
+      check_int "completed trials loaded" 4
+        (List.length (Checkpoint.completed cp ~key:"pt"));
+      let resumed = Runner.run ~checkpoint:cp ~key:"pt" ~trials:9 (spec ()) in
+      Checkpoint.close cp;
+      check "resumed summary equals uninterrupted" true
+        (resumed = uninterrupted))
+
+let test_checkpoint_outcome_roundtrip () =
+  with_temp_checkpoint (fun path ->
+      let outcomes =
+        [ Stats.Finished { reason = Engine.Converged; steps = 12 };
+          Stats.Finished
+            { reason =
+                Engine.Cycle_detected { first_visit = 3; period = 4 };
+              steps = 7 };
+          Stats.Finished { reason = Engine.Step_limit; steps = 600 };
+          Stats.Finished { reason = Engine.Time_limit; steps = 41 };
+          Stats.Finished
+            { reason =
+                Engine.Invariant_violation
+                  {
+                    Ncg_core.Audit.kind = Ncg_core.Audit.Self_loop;
+                    step = 5;
+                    subject = Some 2;
+                    detail = "tab\there and\nnewline";
+                  };
+              steps = 5 };
+          Stats.Crashed { exn = "Failure(\"boom\")"; backtrace = "frame 0" }
+        ]
+      in
+      let cp = Checkpoint.open_ ~fingerprint:"rt" path in
+      List.iteri
+        (fun trial o -> Checkpoint.record cp ~key:"k" ~trial o)
+        outcomes;
+      Checkpoint.close cp;
+      let cp = Checkpoint.open_ ~resume:true ~fingerprint:"rt" path in
+      let loaded =
+        List.sort compare (Checkpoint.completed cp ~key:"k")
+      in
+      Checkpoint.close cp;
+      check "every outcome survives the disk roundtrip" true
+        (loaded = List.mapi (fun i o -> (i, o)) outcomes))
+
+let test_checkpoint_fingerprint_mismatch () =
+  with_temp_checkpoint (fun path ->
+      let cp = Checkpoint.open_ ~fingerprint:"sweep A" path in
+      Checkpoint.record cp ~key:"k" ~trial:0
+        (Stats.Finished { reason = Engine.Converged; steps = 1 });
+      Checkpoint.close cp;
+      match Checkpoint.open_ ~resume:true ~fingerprint:"sweep B" path with
+      | _ -> Alcotest.fail "mismatched fingerprint must be refused"
+      | exception Failure _ -> check "refused" true true)
+
+let test_checkpoint_torn_line_ignored () =
+  with_temp_checkpoint (fun path ->
+      let cp = Checkpoint.open_ ~fingerprint:"torn" path in
+      Checkpoint.record cp ~key:"k" ~trial:0
+        (Stats.Finished { reason = Engine.Converged; steps = 10 });
+      Checkpoint.record cp ~key:"k" ~trial:1
+        (Stats.Finished { reason = Engine.Converged; steps = 20 });
+      Checkpoint.close cp;
+      (* simulate a crash mid-write: truncate the last record *)
+      let contents =
+        let ic = open_in_bin path in
+        let s = really_input_string ic (in_channel_length ic) in
+        close_in ic;
+        s
+      in
+      let oc = open_out_bin path in
+      output_string oc (String.sub contents 0 (String.length contents - 7));
+      close_out oc;
+      let cp = Checkpoint.open_ ~resume:true ~fingerprint:"torn" path in
+      let loaded = Checkpoint.completed cp ~key:"k" in
+      Checkpoint.close cp;
+      check_int "torn record dropped, intact one kept" 1 (List.length loaded))
+
+let test_sweep_checkpoint_resume () =
+  with_temp_checkpoint (fun path ->
+      let params checkpoint =
+        { (Asg_budget.default Model.Sum) with
+          Asg_budget.budgets = [ 2 ];
+          policies = [ List.hd Asg_budget.paper_policies ];
+          ns = [ 8; 10 ];
+          trials = 5;
+          checkpoint }
+      in
+      let reference = Asg_budget.sweep (params None) in
+      let fingerprint = "sweep-test" in
+      (* interrupted attempt: only the n=8 point runs *)
+      let cp = Checkpoint.open_ ~fingerprint path in
+      ignore
+        (Asg_budget.sweep
+           { (params (Some cp)) with Asg_budget.ns = [ 8 ] });
+      Checkpoint.close cp;
+      (* resumed full sweep *)
+      let cp = Checkpoint.open_ ~resume:true ~fingerprint path in
+      let resumed = Asg_budget.sweep (params (Some cp)) in
+      Checkpoint.close cp;
+      check "resumed sweep matches the uninterrupted reference" true
+        (resumed = reference))
+
+(* ------------------------------------------------------------------ *)
 (* Sweeps                                                              *)
 (* ------------------------------------------------------------------ *)
 
@@ -169,6 +335,20 @@ let suite =
       Alcotest.test_case "runner parallel equivalence" `Quick
         test_runner_parallel_matches_sequential;
       Alcotest.test_case "runner convergence" `Quick test_runner_converges;
+      Alcotest.test_case "runner survives a crashing trial" `Quick
+        test_runner_survives_crashing_trial;
+      Alcotest.test_case "runner time budget" `Quick test_runner_time_budget;
+      Alcotest.test_case "runner with auditing" `Quick test_runner_audited;
+      Alcotest.test_case "checkpoint resume parity" `Quick
+        test_checkpoint_resume_parity;
+      Alcotest.test_case "checkpoint outcome roundtrip" `Quick
+        test_checkpoint_outcome_roundtrip;
+      Alcotest.test_case "checkpoint fingerprint mismatch" `Quick
+        test_checkpoint_fingerprint_mismatch;
+      Alcotest.test_case "checkpoint torn line" `Quick
+        test_checkpoint_torn_line_ignored;
+      Alcotest.test_case "sweep checkpoint resume" `Quick
+        test_sweep_checkpoint_resume;
       Alcotest.test_case "asg sweep structure" `Quick
         test_asg_sweep_structure;
       Alcotest.test_case "gbg sweep structure" `Quick

@@ -1,0 +1,99 @@
+(* Tests for the fault-tolerant parallel substrate. *)
+
+module Pool = Ncg_parallel.Pool
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+exception Boom of int
+
+let test_map_result_ok () =
+  let xs = List.init 23 (fun i -> i) in
+  let expected = List.map (fun x -> Ok (x + 1)) xs in
+  List.iter
+    (fun domains ->
+      Alcotest.(check bool)
+        (Printf.sprintf "all Ok, order stable (domains=%d)" domains)
+        true
+        (Pool.map_result ~domains (fun x -> x + 1) xs = expected))
+    [ 1; 2; 4 ]
+
+let test_map_result_captures () =
+  let xs = List.init 20 (fun i -> i) in
+  let f x = if x = 7 then raise (Boom x) else 10 * x in
+  let results = Pool.map_result ~domains:4 f xs in
+  check_int "one result per item" 20 (List.length results);
+  List.iteri
+    (fun i r ->
+      match r with
+      | Ok y ->
+          check "non-raising items keep their results" true
+            (i <> 7 && y = 10 * i)
+      | Error (Boom b, _) ->
+          check "only item 7 failed" true (i = 7 && b = 7)
+      | Error _ -> Alcotest.fail "unexpected exception")
+    results
+
+let test_map_result_multiple_failures () =
+  let xs = List.init 30 (fun i -> i) in
+  let f x = if x mod 3 = 0 then raise (Boom x) else x in
+  let results = Pool.map_result ~domains:3 f xs in
+  let oks = List.filter Result.is_ok results in
+  let errs = List.filter Result.is_error results in
+  check_int "20 survivors" 20 (List.length oks);
+  check_int "10 captured failures" 10 (List.length errs)
+
+let test_map_reraises_after_finishing () =
+  (* [map] still raises — but only after every item was attempted, so a
+     side effect from the last item proves no chunk was abandoned. *)
+  let ran_last = Atomic.make false in
+  let f x =
+    if x = 0 then failwith "early";
+    if x = 9 then Atomic.set ran_last true;
+    x
+  in
+  (match Pool.map ~domains:2 f (List.init 10 (fun i -> i)) with
+  | _ -> Alcotest.fail "expected the exception to re-raise"
+  | exception Failure msg -> Alcotest.(check string) "message" "early" msg);
+  check "all chunks completed before the re-raise" true
+    (Atomic.get ran_last)
+
+let test_chunking_edge_cases () =
+  let square x = x * x in
+  Alcotest.(check (list int)) "items < domains" [ 1; 4; 9 ]
+    (Pool.map ~domains:8 square [ 1; 2; 3 ]);
+  Alcotest.(check (list int)) "single item" [ 49 ]
+    (Pool.map ~domains:8 square [ 7 ]);
+  Alcotest.(check (list int)) "empty list" []
+    (Pool.map ~domains:4 square []);
+  check "empty map_result" true (Pool.map_result ~domains:4 square [] = []);
+  check "single-item map_result" true
+    (Pool.map_result ~domains:8 square [ 3 ] = [ Ok 9 ]);
+  check_int "domains=0 behaves sequentially" 6
+    (Pool.map_reduce ~domains:0 ~map:(fun x -> x) ~combine:( + ) 0
+       [ 1; 2; 3 ])
+
+let test_order_stability_large () =
+  let xs = List.init 157 (fun i -> i) in
+  List.iter
+    (fun domains ->
+      Alcotest.(check (list int))
+        (Printf.sprintf "order preserved with %d domains" domains)
+        (List.map (fun x -> 2 * x) xs)
+        (Pool.map ~domains (fun x -> 2 * x) xs))
+    [ 2; 3; 5; 8 ]
+
+let suite =
+  ( "parallel",
+    [
+      Alcotest.test_case "map_result ok path" `Quick test_map_result_ok;
+      Alcotest.test_case "map_result captures exception" `Quick
+        test_map_result_captures;
+      Alcotest.test_case "map_result multiple failures" `Quick
+        test_map_result_multiple_failures;
+      Alcotest.test_case "map re-raises after all chunks" `Quick
+        test_map_reraises_after_finishing;
+      Alcotest.test_case "chunking edge cases" `Quick
+        test_chunking_edge_cases;
+      Alcotest.test_case "order stability" `Quick test_order_stability_large;
+    ] )

@@ -1,0 +1,104 @@
+(* chaos_check: fault-injection smoke test for the invariant auditor.
+
+   Injects every fault class of Ncg_core.Chaos into healthy networks of
+   several games and asserts the auditor flags each one, that clean
+   networks audit clean, and that a parallel sweep survives a raising
+   trial.  Exit code 0 iff every check passes — CI runs this as the
+   robustness gate.
+
+     dune exec tools/chaos_check.exe *)
+
+open Ncg_graph
+open Ncg_game
+open Ncg_core
+
+let failures = ref 0
+
+let check name ok =
+  Printf.printf "  [%s] %s\n" (if ok then "PASS" else "FAIL") name;
+  if not ok then incr failures
+
+let fault_matrix () =
+  print_endline "fault detection matrix:";
+  let cases =
+    [ ("SUM-ASG budget network",
+       Model.make Model.Asg Model.Sum 9,
+       Gen.random_budget_network (Random.State.make [| 7 |]) 9 2);
+      ("MAX-GBG random network",
+       Model.make ~alpha:(Ncg_rational.Q.make 9 4) Model.Gbg Model.Max 9,
+       Gen.random_m_edges (Random.State.make [| 8 |]) 9 12);
+      ("MAX-SG tree", Model.make Model.Sg Model.Max 9,
+       Gen.random_tree (Random.State.make [| 9 |]) 9) ]
+  in
+  List.iter
+    (fun (desc, model, g) ->
+      List.iter
+        (fun fault ->
+          (* ownership faults are only observable in ownership games *)
+          let applicable =
+            match fault with
+            | Chaos.Orphan_ownership | Chaos.Double_ownership ->
+                Model.uses_ownership model
+            | Chaos.Drop_half_edge | Chaos.Inject_self_loop
+            | Chaos.Disconnect_vertex ->
+                true
+          in
+          if applicable then
+            check
+              (Printf.sprintf "%-22s detected on %s" (Chaos.label fault) desc)
+              (Chaos.detected model fault g))
+        Chaos.all;
+      check
+        (Printf.sprintf "%-22s detected on %s" "non-improving-move" desc)
+        (try Chaos.non_improving_move_detected model g
+         with Invalid_argument _ ->
+           (* a stable sample has no improving move to pervert; use a path *)
+           Chaos.non_improving_move_detected model
+             (Gen.path (Model.n model)));
+      check
+        (Printf.sprintf "%-22s clean audit on %s" "no-fault" desc)
+        (Audit.check_graph model g = []))
+    cases
+
+let engine_surfaces_violations () =
+  print_endline "engine degradation:";
+  (* a scheduler that lies about who is unhappy must yield a typed stop
+     reason, not a crash *)
+  let model = Model.make Model.Sg Model.Max 5 in
+  let lying = Policy.Adversarial (fun _ _ -> Some 2) in
+  let r = Engine.run (Engine.config ~policy:lying model) (Gen.path 5) in
+  check "happy-mover becomes Invariant_violation"
+    (match r.Engine.reason with
+    | Engine.Invariant_violation v ->
+        v.Audit.kind = Audit.Happy_agent_selected
+    | _ -> false);
+  let audited =
+    Engine.run
+      (Engine.config ~audit:Audit.Every_step (Model.make Model.Sg Model.Max 9))
+      (Gen.path 9)
+  in
+  check "fully audited healthy run converges" (Engine.converged audited)
+
+let pool_survives_raising_trial () =
+  print_endline "parallel fault containment:";
+  let f x = if x = 5 then failwith "chaos trial" else x * x in
+  let results =
+    Ncg_parallel.Pool.map_result ~domains:4 f (List.init 16 Fun.id)
+  in
+  check "all 16 outcomes returned" (List.length results = 16);
+  check "15 siblings survived"
+    (List.length (List.filter Result.is_ok results) = 15);
+  check "the raising trial is captured as Error"
+    (match List.nth results 5 with
+    | Error (Failure m, _) -> m = "chaos trial"
+    | _ -> false)
+
+let () =
+  fault_matrix ();
+  engine_surfaces_violations ();
+  pool_survives_raising_trial ();
+  if !failures > 0 then begin
+    Printf.printf "chaos_check: %d check(s) FAILED\n" !failures;
+    exit 1
+  end
+  else print_endline "chaos_check: all checks passed"
