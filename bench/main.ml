@@ -322,6 +322,212 @@ let micro _scale =
     merged
 
 (* ------------------------------------------------------------------ *)
+(* Fast path vs reference oracle                                       *)
+(* ------------------------------------------------------------------ *)
+
+type engine_sample = { wall_s : float; steps : int }
+
+type fastpath_report = {
+  fp_n : int;
+  fp_m : int;
+  fp_alpha : string;
+  fp_trials : int;
+  fp_scan_domains : int;
+  reference : engine_sample;
+  fast : engine_sample;
+  fast_parallel : engine_sample;
+  identical : bool;
+}
+
+let fastpath_report : fastpath_report option ref = ref None
+
+let fastpath scale =
+  section
+    "Fast path vs reference: SUM-GBG sweep, n=100, m=4n, a=n/4, max cost";
+  (* The acceptance configuration is pinned at n=100 regardless of --nmax:
+     the speedup claim in BENCH.json is only meaningful at a fixed size. *)
+  let n = 100 in
+  let m = 4 * n in
+  let alpha = Ncg_rational.Q.make n 4 in
+  let model = Model.make ~alpha Model.Gbg Model.Sum n in
+  let trials = max 1 (min 3 scale.trials) in
+  (* at least 2 so the domain fan-out is really exercised, even on 1 core *)
+  let domains = max 2 (Ncg_parallel.Pool.recommended_domains ()) in
+  let cfg scan_domains =
+    Engine.config ~policy:Policy.Max_cost ~tie_break:Engine.Prefer_deletion
+      ~scan_domains model
+  in
+  let time run =
+    let t0 = Unix.gettimeofday () in
+    let results =
+      List.init trials (fun i ->
+          let seed = scale.seed + i in
+          let g = Gen.random_m_edges (Random.State.make [| seed |]) n m in
+          run seed g)
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    let steps =
+      List.fold_left (fun acc (r : Engine.result) -> acc + r.Engine.steps)
+        0 results
+    in
+    ({ wall_s = wall; steps }, results)
+  in
+  let rng seed = Random.State.make [| seed; 0xfa57 |] in
+  let reference, ref_runs =
+    time (fun seed g -> Reference.run ~rng:(rng seed) (cfg 1) g)
+  in
+  let fast, fast_runs =
+    time (fun seed g -> Engine.run ~rng:(rng seed) (cfg 1) g)
+  in
+  let fast_parallel, par_runs =
+    time (fun seed g -> Engine.run ~rng:(rng seed) (cfg domains) g)
+  in
+  let identical =
+    List.for_all2
+      (fun (a : Engine.result) (b : Engine.result) ->
+        a.Engine.steps = b.Engine.steps
+        && a.Engine.reason = b.Engine.reason
+        && Graph.equal a.Engine.final b.Engine.final)
+      ref_runs fast_runs
+    && List.for_all2
+         (fun (a : Engine.result) (b : Engine.result) ->
+           a.Engine.steps = b.Engine.steps
+           && Graph.equal a.Engine.final b.Engine.final)
+         fast_runs par_runs
+  in
+  let per_s { wall_s; steps } =
+    if wall_s > 0.0 then float_of_int steps /. wall_s else 0.0
+  in
+  let show label s =
+    Printf.printf "  %-22s %4d steps  %7.3f s  %8.0f steps/s\n" label s.steps
+      s.wall_s (per_s s)
+  in
+  show "reference (naive)" reference;
+  show "fast (1 domain)" fast;
+  show (Printf.sprintf "fast (%d domains)" domains) fast_parallel;
+  let speedup =
+    if fast.wall_s > 0.0 then reference.wall_s /. fast.wall_s else 0.0
+  in
+  Printf.printf "  speedup: %.2fx\n" speedup;
+  check "identical trajectories across engines" identical;
+  check "fast engine at least 3x faster" (speedup >= 3.0);
+  fastpath_report :=
+    Some
+      {
+        fp_n = n;
+        fp_m = m;
+        fp_alpha = Ncg_rational.Q.to_string alpha;
+        fp_trials = trials;
+        fp_scan_domains = domains;
+        reference;
+        fast;
+        fast_parallel;
+        identical;
+      }
+
+(* ------------------------------------------------------------------ *)
+(* BENCH.json                                                          *)
+(* ------------------------------------------------------------------ *)
+
+(* Hand-rolled JSON: the container ships no JSON library and the schema
+   is flat enough that a printer beats a dependency. *)
+module Json = struct
+  let escape s =
+    let b = Buffer.create (String.length s + 8) in
+    String.iter
+      (fun c ->
+        match c with
+        | '"' -> Buffer.add_string b "\\\""
+        | '\\' -> Buffer.add_string b "\\\\"
+        | '\n' -> Buffer.add_string b "\\n"
+        | '\t' -> Buffer.add_string b "\\t"
+        | c when Char.code c < 0x20 ->
+            Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+        | c -> Buffer.add_char b c)
+      s;
+    Buffer.contents b
+
+  let str s = Printf.sprintf "\"%s\"" (escape s)
+  let num f = Printf.sprintf "%.6f" f
+  let obj fields =
+    "{"
+    ^ String.concat ", "
+        (List.map (fun (k, v) -> Printf.sprintf "%s: %s" (str k) v) fields)
+    ^ "}"
+  let arr items = "[" ^ String.concat ", " items ^ "]"
+end
+
+let sample_json s =
+  Json.obj
+    [
+      ("wall_s", Json.num s.wall_s);
+      ("steps", string_of_int s.steps);
+      ( "steps_per_s",
+        Json.num
+          (if s.wall_s > 0.0 then float_of_int s.steps /. s.wall_s else 0.0) );
+    ]
+
+let write_json path ~scale ~timings =
+  let fastpath_json =
+    match !fastpath_report with
+    | None -> "null"
+    | Some r ->
+        Json.obj
+          [
+            ("game", Json.str "SUM-GBG");
+            ("policy", Json.str "max-cost");
+            ("tie_break", Json.str "prefer-deletion");
+            ("n", string_of_int r.fp_n);
+            ("m", string_of_int r.fp_m);
+            ("alpha", Json.str r.fp_alpha);
+            ("trials", string_of_int r.fp_trials);
+            ("reference", sample_json r.reference);
+            ("fast", sample_json r.fast);
+            ("fast_parallel", sample_json r.fast_parallel);
+            ("scan_domains", string_of_int r.fp_scan_domains);
+            ( "speedup",
+              Json.num
+                (if r.fast.wall_s > 0.0 then
+                   r.reference.wall_s /. r.fast.wall_s
+                 else 0.0) );
+            ("identical_trajectories", string_of_bool r.identical);
+          ]
+  in
+  let experiments =
+    Json.arr
+      (List.rev_map
+         (fun (id, title, wall) ->
+           Json.obj
+             [
+               ("id", Json.str id);
+               ("title", Json.str title);
+               ("wall_s", Json.num wall);
+             ])
+         timings)
+  in
+  let doc =
+    Json.obj
+      [
+        ("schema", Json.str "ncg-bench/1");
+        ( "config",
+          Json.obj
+            [
+              ("trials", string_of_int scale.trials);
+              ("seed", string_of_int scale.seed);
+              ( "ns",
+                Json.arr (List.map string_of_int scale.ns) );
+            ] );
+        ("experiments", experiments);
+        ("fastpath", fastpath_json);
+      ]
+  in
+  let oc = open_out path in
+  output_string oc doc;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "\nwrote %s\n" path
+
+(* ------------------------------------------------------------------ *)
 (* Registry and CLI                                                    *)
 (* ------------------------------------------------------------------ *)
 
@@ -351,6 +557,7 @@ let experiments : (string * string * (scale -> unit)) list =
     ("phases", "GBG operation phases (Sec. 4.2.2)", phases);
     ("nocycle", "random-instance cycle hunt (Secs. 3.4/4.2)", nocycle);
     ("micro", "Bechamel micro-benchmarks", micro);
+    ("fastpath", "fast engine vs reference oracle (SUM-GBG n=100)", fastpath);
   ]
 
 let () =
@@ -359,10 +566,14 @@ let () =
   let nmax = ref 50 in
   let seed = ref 2013 in
   let paper = ref false in
+  let json = ref None in
   let rec parse = function
     | [] -> ()
     | "--only" :: id :: rest ->
         only := id :: !only;
+        parse rest
+    | "--json" :: path :: rest ->
+        json := Some path;
         parse rest
     | "--trials" :: t :: rest ->
         trials := int_of_string t;
@@ -380,7 +591,7 @@ let () =
         Printf.eprintf
           "unknown argument %s\n\
            usage: main.exe [--only ID]* [--trials T] [--nmax N] [--seed S] \
-           [--paper]\n\
+           [--paper] [--json PATH]\n\
            ids: %s\n"
           arg
           (String.concat " " (List.map (fun (id, _, _) -> id) experiments));
@@ -404,8 +615,14 @@ let () =
   in
   Printf.printf "Reproduction benches: %d experiments, trials=%d, n up to %d\n"
     (List.length selected) !trials !nmax;
+  let timings = ref [] in
   List.iter
     (fun (id, title, run) ->
       section (Printf.sprintf "[%s] %s" id title);
-      run scale)
-    selected
+      let t0 = Unix.gettimeofday () in
+      run scale;
+      timings := (id, title, Unix.gettimeofday () -. t0) :: !timings)
+    selected;
+  match !json with
+  | None -> ()
+  | Some path -> write_json path ~scale ~timings:!timings

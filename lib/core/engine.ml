@@ -12,18 +12,20 @@ type config = {
   record_history : bool;
   audit : Audit.level;
   time_budget : float option;
+  scan_domains : int;
 }
 
 let config ?(policy = Policy.Max_cost) ?(move_rule = Best_response)
     ?(tie_break = Uniform) ?max_steps ?(detect_cycles = false)
-    ?(record_history = true) ?(audit = Audit.Off) ?time_budget model =
+    ?(record_history = true) ?(audit = Audit.Off) ?time_budget
+    ?(scan_domains = 1) model =
   let max_steps =
     match max_steps with
     | Some s -> s
     | None -> (100 * Model.n model) + 1000
   in
   { model; policy; move_rule; tie_break; max_steps; detect_cycles;
-    record_history; audit; time_budget }
+    record_history; audit; time_budget; scan_domains }
 
 type step = {
   index : int;
@@ -57,13 +59,17 @@ let pick_uniform rng = function
   | [] -> None
   | moves -> Some (List.nth moves (Random.State.int rng (List.length moves)))
 
-(* Choose the move the selected agent performs. *)
-let choose_move cfg rng g u =
+(* Choose the move the selected agent performs — the fast path.  The
+   witness move cached for [u] seeds best-response pruning; it never
+   changes the chosen list, which is bit-identical to the naive
+   [Response.best_moves] (see DESIGN.md §9), so the RNG consumption of the
+   tie-break matches [Reference.choose_move] draw for draw. *)
+let choose_move cfg rng ctx witness g u =
   let open Response in
   match cfg.move_rule with
-  | Any_improving -> pick_uniform rng (improving_moves cfg.model g u)
+  | Any_improving -> pick_uniform rng (Fast.improving_moves ctx u)
   | Best_response -> (
-      let best = best_moves cfg.model g u in
+      let best = Fast.best_moves ?prior:(Witness.get witness u) ctx u in
       match cfg.tie_break with
       | First_candidate -> ( match best with [] -> None | e :: _ -> Some e)
       | Uniform -> pick_uniform rng best
@@ -85,6 +91,7 @@ let run ?rng cfg initial =
   in
   let g = Graph.copy initial in
   let ws = Paths.Workspace.create (Graph.n g) in
+  let witness = Witness.create (Graph.n g) in
   let seen : (string, int) Hashtbl.t = Hashtbl.create 64 in
   if cfg.detect_cycles then Hashtbl.replace seen (state_key cfg.model g) 0;
   let history = ref [] in
@@ -111,10 +118,17 @@ let run ?rng cfg initial =
     if step >= cfg.max_steps then (Step_limit, step)
     else if out_of_time () then (Time_limit, step)
     else
-      match Policy.select cfg.policy ~rng ~ws cfg.model g ~last with
+      (* One distance-table context per step: tables describe the current
+         network and every applied move invalidates them wholesale.  The
+         witness cache survives across steps — probes revalidate. *)
+      let ctx = Response.Fast.create ws cfg.model g in
+      match
+        Policy.select_fast cfg.policy ~rng ~ctx ~witness
+          ~domains:cfg.scan_domains cfg.model g ~last
+      with
       | None -> (Converged, step)
       | Some u -> (
-          match choose_move cfg rng g u with
+          match choose_move cfg rng ctx witness g u with
           | None ->
               (* The policy contract promises only unhappy agents, so an
                  improving move must exist; surface the breach as a typed
@@ -141,6 +155,7 @@ let run ?rng cfg initial =
               | Some v -> (Invariant_violation v, step)
               | None ->
               ignore (Move.apply g e.Response.move);
+              Witness.clear witness u;
               if cfg.record_history then
                 history :=
                   {

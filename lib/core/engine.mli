@@ -45,6 +45,11 @@ type config = {
   time_budget : float option;
       (** wall-clock budget in seconds for this run; exceeding it stops the
           run with {!Time_limit}. *)
+  scan_domains : int;
+      (** number of OCaml domains the max-cost policy fans its per-agent
+          cost BFS out over each step; [1] keeps everything on the calling
+          domain.  Any value produces the identical trajectory — this is a
+          throughput knob only. *)
 }
 
 val config :
@@ -56,10 +61,12 @@ val config :
   ?record_history:bool ->
   ?audit:Audit.level ->
   ?time_budget:float ->
+  ?scan_domains:int ->
   Model.t ->
   config
 (** Defaults: max-cost policy, best response, uniform ties, [100 * n + 1000]
-    steps, cycle detection off, history on, audit off, no time budget. *)
+    steps, cycle detection off, history on, audit off, no time budget, one
+    scan domain. *)
 
 type step = {
   index : int;  (** 0-based position in the run *)
@@ -89,6 +96,12 @@ type result = {
 
 val run : ?rng:Random.State.t -> config -> Graph.t -> result
 (** Runs the process on a private copy of the initial network.  [rng]
-    defaults to a fixed seed, so runs are reproducible by default. *)
+    defaults to a fixed seed, so runs are reproducible by default.
+
+    This is the {e fast} engine: witness-cached unhappiness probes,
+    distance-table costs and bounded-BFS best-response pruning
+    ({!Response.Fast}), optionally with parallel cost scans
+    ([scan_domains]).  Its trajectories are byte-identical to
+    {!Reference.run} — enforced by the differential suite. *)
 
 val converged : result -> bool

@@ -13,41 +13,84 @@ let shuffle rng arr =
   done
 
 (* First unhappy agent in the given probe order. *)
-let first_unhappy ws model g order =
+let first_unhappy probe order =
   let n = Array.length order in
-  let rec probe i =
-    if i >= n then None
-    else if Response.is_unhappy ~ws model g order.(i) then Some order.(i)
-    else probe (i + 1)
+  let rec go i =
+    if i >= n then None else if probe order.(i) then Some order.(i) else go (i + 1)
   in
-  probe 0
+  go 0
 
-let select t ~rng ~ws model g ~last =
+(* Selection skeleton shared by the naive and the fast path, so both draw
+   from the RNG in lockstep — a requirement for the differential oracle.
+   [cost_of] and [probe] are the only things that differ, and both compute
+   identical values on either path. *)
+let select_core t ~rng ~probe ~cost_of model g ~last =
   let n = Graph.n g in
   match t with
   | Max_cost ->
-      (* Sort by descending cost; shuffle first so that the stable sort
-         breaks cost ties uniformly at random. *)
+      (* Descending cost order, cost ties broken uniformly at random: the
+         shuffle assigns every agent a random rank and the in-place sort
+         uses it as the tie-break — the same order the old shuffle +
+         stable-sort list round-trip produced, without the lists. *)
       let order = Array.init n (fun i -> i) in
       shuffle rng order;
-      let costs = Array.init n (fun u -> Agents.cost_ws ws model g u) in
+      let costs = Array.init n cost_of in
+      let rank = Array.make (max 1 n) 0 in
+      Array.iteri (fun i v -> rank.(v) <- i) order;
       let unit_price = Model.unit_price model in
-      let sorted =
-        List.stable_sort
-          (fun a b -> Cost.compare ~unit_price costs.(b) costs.(a))
-          (Array.to_list order)
-      in
-      first_unhappy ws model g (Array.of_list sorted)
+      Array.sort
+        (fun a b ->
+          let c = Cost.compare ~unit_price costs.(b) costs.(a) in
+          if c <> 0 then c else Stdlib.compare rank.(a) rank.(b))
+        order;
+      first_unhappy probe order
   | Random_unhappy ->
       let order = Array.init n (fun i -> i) in
       shuffle rng order;
-      first_unhappy ws model g order
+      first_unhappy probe order
   | Round_robin ->
       let start = match last with None -> 0 | Some u -> (u + 1) mod n in
       let order = Array.init n (fun i -> (start + i) mod n) in
-      first_unhappy ws model g order
+      first_unhappy probe order
   | Adversarial f ->
-      let unhappy =
-        List.filter (Response.is_unhappy ~ws model g) (Graph.vertices g)
-      in
+      let unhappy = List.filter probe (Graph.vertices g) in
       if unhappy = [] then None else f g unhappy
+
+let select t ~rng ~ws model g ~last =
+  select_core t ~rng
+    ~probe:(fun u -> Response.is_unhappy ~ws model g u)
+    ~cost_of:(fun u -> Agents.cost_ws ws model g u)
+    model g ~last
+
+(* Fill every missing distance table of the context, [domains]-wide: the
+   n source BFS of a cost scan are embarrassingly parallel, each domain
+   works a contiguous chunk with its own workspace and the results are
+   installed back on the calling domain. *)
+let preload_tables ~domains ctx g =
+  let n = Graph.n g in
+  let missing =
+    List.filter (fun v -> not (Response.Fast.has_table ctx v)) (Graph.vertices g)
+  in
+  if domains <= 1 || List.length missing <= 1 then
+    List.iter (fun v -> ignore (Response.Fast.cost ctx v)) missing
+  else begin
+    let k = min domains (List.length missing) in
+    let chunks = Array.make k [] in
+    List.iteri (fun i v -> chunks.(i mod k) <- v :: chunks.(i mod k)) missing;
+    Ncg_parallel.Pool.map ~domains
+      (fun chunk ->
+        let ws = Paths.Workspace.create n in
+        List.map (fun v -> (v, Paths.Workspace.distances ws g v)) chunk)
+      (Array.to_list chunks)
+    |> List.iter
+         (List.iter (fun (v, d) -> Response.Fast.set_table ctx v d))
+  end
+
+let select_fast t ~rng ~ctx ~witness ?(domains = 1) model g ~last =
+  (match t with
+  | Max_cost when domains > 1 -> preload_tables ~domains ctx g
+  | Max_cost | Random_unhappy | Round_robin | Adversarial _ -> ());
+  select_core t ~rng
+    ~probe:(fun u -> Witness.probe witness ctx u)
+    ~cost_of:(fun u -> Response.Fast.cost ctx u)
+    model g ~last

@@ -33,3 +33,21 @@ val select :
 (** The moving agent for the current state, or [None] if every agent is
     happy (the process has converged) — except under [Adversarial], where
     [None] is whatever the scheduler returned. *)
+
+val select_fast :
+  t ->
+  rng:Random.State.t ->
+  ctx:Response.Fast.ctx ->
+  witness:Witness.t ->
+  ?domains:int ->
+  Model.t ->
+  Graph.t ->
+  last:int option ->
+  int option
+(** Same agent, same RNG draws as {!select}, served by the fast path:
+    unhappiness probes go through the witness cache and agent costs come
+    from the context's distance tables.  Under {!Max_cost} with
+    [domains > 1] the missing distance tables are precomputed in parallel
+    (one BFS per agent, fanned out over [domains] OCaml domains) before
+    the sequential selection runs — the parallel part only reads the
+    graph. *)

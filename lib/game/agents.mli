@@ -4,6 +4,14 @@
     accounting.  The [ws]-taking variants are allocation-free and used in
     the dynamics hot loop. *)
 
+val of_profile :
+  Model.t -> Graph.t -> int -> Paths.profile -> with_edges:bool -> Cost.t
+(** [of_profile model g u p] converts a BFS profile from [u] into [u]'s
+    cost: [Disconnected] if the profile did not reach every vertex,
+    otherwise the model's distance measure plus (with [with_edges]) the
+    agent's edge units.  The building block behind every cost function
+    here, exposed for the fast-path evaluator. *)
+
 val cost : Model.t -> Graph.t -> int -> Cost.t
 (** [cost model g u] is agent [u]'s full cost in [g]. *)
 

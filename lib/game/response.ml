@@ -1,3 +1,5 @@
+module Q = Ncg_rational.Q
+
 type evaluated = { move : Move.t; before : Cost.t; after : Cost.t }
 
 let exhaustive_limit = 20
@@ -233,3 +235,366 @@ let unhappy_agents model g =
   List.filter (is_unhappy ~ws model g) (Graph.vertices g)
 
 let is_stable model g = unhappy_agents model g = []
+
+(* Membership test for the [candidates] enumeration: accepts a move iff the
+   enumeration over the current state would generate it.  Must stay at
+   least as strict as [candidates] — the fast path seeds best-response
+   thresholds with re-validated witness moves, which is only sound when the
+   witness is guaranteed to reappear during the enumeration. *)
+let admissible model g move =
+  let host = model.Model.host in
+  let u = Move.agent move in
+  let buy_ok v = v <> u && (not (Graph.has_edge g u v)) && Host.allows host u v in
+  match (model.Model.game, move) with
+  | (Model.Sg | Model.Asg | Model.Gbg), Move.Swap { remove; add; _ } ->
+      buy_ok add
+      && (if Model.uses_ownership model then Graph.owns g u remove
+          else Graph.has_edge g u remove)
+  | Model.Gbg, Move.Buy { target; _ } -> buy_ok target
+  | Model.Gbg, Move.Delete { target; _ } -> Graph.owns g u target
+  | Model.Bg, Move.Set_own_edges { targets; _ } ->
+      let sorted = List.sort_uniq compare targets in
+      List.length sorted = List.length targets
+      && List.for_all
+           (fun v ->
+             v <> u
+             && Host.allows host u v
+             && not (Graph.has_edge g u v && not (Graph.owns g u v)))
+           targets
+      && sorted <> List.sort compare (Graph.owned_neighbors g u)
+  | Model.Bilateral, Move.Set_neighbors { targets; _ } ->
+      let sorted = List.sort_uniq compare targets in
+      List.length sorted = List.length targets
+      && List.for_all (fun v -> v <> u && Host.allows host u v) targets
+      && sorted <> List.sort compare (Graph.neighbors g u)
+  | ( (Model.Sg | Model.Asg | Model.Gbg | Model.Bg | Model.Bilateral),
+      ( Move.Swap _ | Move.Buy _ | Move.Delete _ | Move.Set_own_edges _
+      | Move.Set_neighbors _ ) ) ->
+      false
+
+(* ------------------------------------------------------------------ *)
+(* Fast path                                                           *)
+(* ------------------------------------------------------------------ *)
+
+(* The fast evaluator produces results bit-identical to the naive
+   functions above (the differential suite pins this), but avoids most of
+   their BFS work:
+
+   - a step-scoped cache of single-source distance tables [d_G(v, .)],
+     filled lazily (or in parallel by the max-cost policy);
+   - buys evaluated exactly in O(n) from two cached tables, no BFS:
+     d_{G+uy}(u, v) = min(d_G(u, v), 1 + d_G(y, v));
+   - deletions evaluated exactly from one BFS per removable edge, shared
+     by every swap removing that same edge;
+   - swaps filtered by the sound lower bound
+     d_{G-ux+uy}(u, v) >= min(d_{G-ux}(u, v), 1 + d_G(y, v))
+     (the right side only shrinks when [d_G] replaces [d_{G-ux}]), with a
+     cutoff-bounded exact BFS only for survivors;
+   - every exact evaluation bounded by the best admissible cost found so
+     far, so hopeless candidates abort their BFS early. *)
+module Fast = struct
+  type ctx = {
+    model : Model.t;
+    g : Graph.t;
+    ws : Paths.Workspace.t;
+    unit_price : Q.t;
+    tables : int array option array;  (* d_G(v, .), -1 = unreachable *)
+    mutable table_fills : int;
+  }
+
+  let create ws model g =
+    {
+      model;
+      g;
+      ws;
+      unit_price = Model.unit_price model;
+      tables = Array.make (max 1 (Graph.n g)) None;
+      table_fills = 0;
+    }
+
+  let has_table ctx v = ctx.tables.(v) <> None
+  let set_table ctx v d = ctx.tables.(v) <- Some d
+  let table_fills ctx = ctx.table_fills
+
+  let table ctx v =
+    match ctx.tables.(v) with
+    | Some d -> d
+    | None ->
+        let d = Paths.Workspace.distances ctx.ws ctx.g v in
+        ctx.table_fills <- ctx.table_fills + 1;
+        ctx.tables.(v) <- Some d;
+        d
+
+  let profile_of_dists dist =
+    let reached = ref 0 and sum = ref 0 and ecc = ref 0 in
+    Array.iter
+      (fun d ->
+        if d >= 0 then begin
+          incr reached;
+          sum := !sum + d;
+          if d > !ecc then ecc := d
+        end)
+      dist;
+    { Paths.reached = !reached; sum = !sum; ecc = !ecc }
+
+  let cost ctx u =
+    Agents.of_profile ctx.model ctx.g u
+      (profile_of_dists (table ctx u))
+      ~with_edges:true
+
+  (* Admission thresholds are cross-multiplied integer costs
+     ([e * num + d * den], cf. [Cost.compare]); [None] admits any finite
+     cost (the mover is currently disconnected, so any reconnecting move
+     improves). *)
+  let cross ctx = function
+    | Cost.Disconnected -> None
+    | Cost.Connected { edge_units; dist } ->
+        let { Q.num; den } = ctx.unit_price in
+        Some ((edge_units * num) + (dist * den))
+
+  let improve_threshold ctx before =
+    match cross ctx before with None -> None | Some c -> Some (c - 1)
+
+  (* Largest distance a candidate paying [edge_units] may have while still
+     meeting the threshold. *)
+  let dist_budget ctx ~edge_units threshold =
+    match threshold with
+    | None -> `Any
+    | Some t ->
+        let { Q.num; den } = ctx.unit_price in
+        let b = t - (edge_units * num) in
+        if b < 0 then `Reject else `At_most (b / den)
+
+  let bound_of ctx budget =
+    match ctx.model.Model.dist_mode with
+    | Model.Sum -> Paths.Workspace.Sum_at_most budget
+    | Model.Max -> Paths.Workspace.Ecc_at_most budget
+
+  (* Exact evaluation by transient application, with the BFS aborted as
+     soon as the candidate provably misses the threshold. *)
+  let evaluate_bounded ctx move ~before ~threshold =
+    Move.with_applied ctx.g move (fun g ->
+        let u = Move.agent move in
+        let edge_units = Model.edge_units ctx.model g u in
+        match dist_budget ctx ~edge_units threshold with
+        | `Reject -> None
+        | `Any ->
+            let p = Paths.Workspace.profile ctx.ws g u in
+            if p.Paths.reached < Graph.n g then None
+            else
+              Some
+                {
+                  move;
+                  before;
+                  after = Agents.of_profile ctx.model g u p ~with_edges:true;
+                }
+        | `At_most budget -> (
+            match
+              Paths.Workspace.profile_bounded ctx.ws g u (bound_of ctx budget)
+            with
+            | None -> None
+            | Some p ->
+                if p.Paths.reached < Graph.n g then None
+                else
+                  Some
+                    {
+                      move;
+                      before;
+                      after =
+                        Agents.of_profile ctx.model g u p ~with_edges:true;
+                    }))
+
+  (* Exact distance profile after [u] buys the edge {u, y}: a shortest
+     path in G + uy either avoids the new edge or starts with it. *)
+  let buy_dist_profile ctx u y =
+    let du = table ctx u and dy = table ctx y in
+    let n = Array.length du in
+    let reached = ref 0 and sum = ref 0 and ecc = ref 0 in
+    for v = 0 to n - 1 do
+      let a = du.(v) and b = dy.(v) in
+      let d =
+        if a < 0 then (if b < 0 then -1 else b + 1)
+        else if b < 0 then a
+        else if a <= b + 1 then a
+        else b + 1
+      in
+      if d >= 0 then begin
+        incr reached;
+        sum := !sum + d;
+        if d > !ecc then ecc := d
+      end
+    done;
+    { Paths.reached = !reached; sum = !sum; ecc = !ecc }
+
+  (* Lower bound on the distance profile after the swap removing {u, x}
+     (exact table [du_minus]) and adding {u, y}: [d_G(y, v)] only
+     underestimates [d_{G-ux}(y, v)].  [None] means some vertex is
+     unreachable both ways — then it provably stays unreachable after the
+     swap and the candidate can be discarded outright. *)
+  let swap_dist_lb du_minus dy =
+    let n = Array.length du_minus in
+    let sum = ref 0 and ecc = ref 0 in
+    let disconnected = ref false in
+    let v = ref 0 in
+    while (not !disconnected) && !v < n do
+      let a = du_minus.(!v) and b = dy.(!v) in
+      let d =
+        if a < 0 then (if b < 0 then -1 else b + 1)
+        else if b < 0 then a
+        else if a <= b + 1 then a
+        else b + 1
+      in
+      if d < 0 then disconnected := true
+      else begin
+        sum := !sum + d;
+        if d > !ecc then ecc := d
+      end;
+      incr v
+    done;
+    if !disconnected then None else Some (!sum, !ecc)
+
+  (* Per-agent scan state: the agent's current cost and edge units, plus
+     the lazily filled [d_{G-ux}(u, .)] tables, one per removable edge,
+     shared by the deletion and all swaps removing that edge. *)
+  type scan = {
+    ctx : ctx;
+    u : int;
+    before : Cost.t;
+    base_units : int;
+    mutable minus : (int * int array) list;
+  }
+
+  let make_scan ctx u =
+    {
+      ctx;
+      u;
+      before = cost ctx u;
+      base_units = Model.edge_units ctx.model ctx.g u;
+      minus = [];
+    }
+
+  let minus_table s x =
+    match List.assoc_opt x s.minus with
+    | Some d -> d
+    | None ->
+        let g = s.ctx.g in
+        let o = Graph.owner g s.u x in
+        Graph.remove_edge g s.u x;
+        let d =
+          Fun.protect
+            ~finally:(fun () -> Graph.add_edge g ~owner:o s.u x)
+            (fun () -> Paths.Workspace.distances s.ctx.ws g s.u)
+        in
+        s.minus <- (x, d) :: s.minus;
+        d
+
+  (* Admit an exactly known profile against the budget. *)
+  let admit s move ~edge_units p ~budget =
+    if p.Paths.reached < Graph.n s.ctx.g then None
+    else
+      let dist =
+        match s.ctx.model.Model.dist_mode with
+        | Model.Sum -> p.Paths.sum
+        | Model.Max -> p.Paths.ecc
+      in
+      let ok = match budget with `Any -> true | `At_most b -> dist <= b in
+      if ok then
+        Some
+          { move; before = s.before; after = Cost.connected ~edge_units ~dist }
+      else None
+
+  (* [Some e] iff the candidate's exact cost meets [threshold]; every
+     admitted evaluation is exact, every rejection is proved. *)
+  let try_candidate s move ~threshold =
+    let ctx = s.ctx in
+    match move with
+    | Move.Buy { target = y; _ } -> (
+        let edge_units = s.base_units + 1 in
+        match dist_budget ctx ~edge_units threshold with
+        | `Reject -> None
+        | (`Any | `At_most _) as budget ->
+            admit s move ~edge_units (buy_dist_profile ctx s.u y) ~budget)
+    | Move.Delete { target = x; _ } -> (
+        let edge_units = s.base_units - 1 in
+        match dist_budget ctx ~edge_units threshold with
+        | `Reject -> None
+        | (`Any | `At_most _) as budget ->
+            admit s move ~edge_units
+              (profile_of_dists (minus_table s x))
+              ~budget)
+    | Move.Swap { remove = x; add = y; _ } -> (
+        match dist_budget ctx ~edge_units:s.base_units threshold with
+        | `Reject -> None
+        | `Any -> evaluate_bounded ctx move ~before:s.before ~threshold
+        | `At_most budget -> (
+            match swap_dist_lb (minus_table s x) (table ctx y) with
+            | None -> None
+            | Some (sum_lb, ecc_lb) ->
+                let lb =
+                  match ctx.model.Model.dist_mode with
+                  | Model.Sum -> sum_lb
+                  | Model.Max -> ecc_lb
+                in
+                if lb > budget then None
+                else evaluate_bounded ctx move ~before:s.before ~threshold))
+    | Move.Set_own_edges _ | Move.Set_neighbors _ ->
+        if feasible ctx.model ctx.g move then
+          evaluate_bounded ctx move ~before:s.before ~threshold
+        else None
+
+  let find_improving ctx u =
+    let s = make_scan ctx u in
+    let threshold = improve_threshold ctx s.before in
+    Seq.find_map
+      (fun m -> try_candidate s m ~threshold)
+      (candidates ctx.model ctx.g u)
+
+  let is_unhappy ctx u = find_improving ctx u <> None
+
+  let improving_moves ctx u =
+    let s = make_scan ctx u in
+    let threshold = improve_threshold ctx s.before in
+    List.filter_map
+      (fun m -> try_candidate s m ~threshold)
+      (List.of_seq (candidates ctx.model ctx.g u))
+
+  let revalidate ctx move =
+    if not (admissible ctx.model ctx.g move) then None
+    else if not (feasible ctx.model ctx.g move) then None
+    else
+      let s = make_scan ctx (Move.agent move) in
+      try_candidate s move ~threshold:(improve_threshold ctx s.before)
+
+  let best_moves ?prior ctx u =
+    let s = make_scan ctx u in
+    let improve = improve_threshold ctx s.before in
+    (* Seed the admission threshold with the re-verified witness move:
+       [admissible] guarantees the witness reappears in the enumeration
+       below, so no tie of the true best response can be pruned. *)
+    let seed =
+      match prior with
+      | Some m
+        when admissible ctx.model ctx.g m && feasible ctx.model ctx.g m -> (
+          match try_candidate s m ~threshold:improve with
+          | Some e -> cross ctx e.after
+          | None -> improve)
+      | Some _ | None -> improve
+    in
+    let best = ref [] and threshold = ref seed in
+    List.iter
+      (fun m ->
+        match try_candidate s m ~threshold:!threshold with
+        | None -> ()
+        | Some e ->
+            let c =
+              match cross ctx e.after with
+              | Some c -> c
+              | None -> assert false (* admitted costs are finite *)
+            in
+            (match !best with
+            | b :: _ when cross ctx b.after = Some c -> best := e :: !best
+            | _ -> best := [ e ]);
+            threshold := Some c)
+      (List.of_seq (candidates ctx.model ctx.g u));
+    List.rev !best
+end

@@ -65,3 +65,55 @@ val unhappy_agents : Model.t -> Graph.t -> int list
 val is_stable : Model.t -> Graph.t -> bool
 (** No agent has a feasible improving move — a pure Nash equilibrium of the
     underlying game (pairwise stability for the bilateral version). *)
+
+val admissible : Model.t -> Graph.t -> Move.t -> bool
+(** Membership in the {!candidates} enumeration of the current state: true
+    iff enumerating the move's agent now would generate this move.  Used to
+    re-verify cached witness moves after the network has changed. *)
+
+(** Pruned, cache-backed evaluation with results bit-identical to the
+    naive functions above — [improving_moves], [best_moves] and
+    [is_unhappy] return exactly the same lists and booleans, at a fraction
+    of the BFS work.  A context caches single-source distance tables of the
+    {e current} network and is only valid until the next applied move: the
+    engine creates one per step.  See DESIGN.md §9 for the soundness
+    argument. *)
+module Fast : sig
+  type ctx
+
+  val create : Paths.Workspace.t -> Model.t -> Graph.t -> ctx
+  (** The context borrows the workspace for its BFS scratch space; the
+      graph must not change (other than transiently through this module)
+      while the context is in use. *)
+
+  val cost : ctx -> int -> Cost.t
+  (** Same value as [Agents.cost], served from the cached table. *)
+
+  val has_table : ctx -> int -> bool
+
+  val set_table : ctx -> int -> int array -> unit
+  (** Install a distance table computed elsewhere — the max-cost policy
+      fans the n source BFS out over domains and installs the results. *)
+
+  val table_fills : ctx -> int
+  (** Number of lazily filled tables so far (observability/tests). *)
+
+  val is_unhappy : ctx -> int -> bool
+  (** Same boolean as {!val:Response.is_unhappy}. *)
+
+  val find_improving : ctx -> int -> evaluated option
+  (** The first improving move in enumeration order, exactly evaluated —
+      the witness cached by the engine between steps. *)
+
+  val improving_moves : ctx -> int -> evaluated list
+  (** Same list as {!val:Response.improving_moves} (no multi-swaps). *)
+
+  val best_moves : ?prior:Move.t -> ctx -> int -> evaluated list
+  (** Same list as {!val:Response.best_moves}.  [prior] seeds the pruning
+      threshold with a re-verified witness move; it never changes the
+      result, only how much work is skipped. *)
+
+  val revalidate : ctx -> Move.t -> evaluated option
+  (** [Some e] iff the move is currently admissible, feasible and strictly
+      improving for its agent — the one-evaluation witness check. *)
+end

@@ -31,6 +31,16 @@ let has_edge g u v =
   check_vertex g v "has_edge";
   g.adj.(u).(v)
 
+(* Adjacency lists are kept sorted ascending so that neighbor enumeration
+   order is a function of the edge set alone, not of the mutation history.
+   The dynamics engines evaluate candidate moves by transiently applying
+   and undoing them; with insertion-ordered lists every undo would shuffle
+   subsequent enumeration, making "identical trajectories" depend on how
+   many moves each engine happened to evaluate. *)
+let rec insert_sorted v = function
+  | [] -> [ v ]
+  | w :: tl as l -> if v < w then v :: l else w :: insert_sorted v tl
+
 let add_edge g ~owner u v =
   check_vertex g u "add_edge";
   check_vertex g v "add_edge";
@@ -42,8 +52,8 @@ let add_edge g ~owner u v =
   g.adj.(u).(v) <- true;
   g.adj.(v).(u) <- true;
   g.owner_of.(owner).(if owner = u then v else u) <- true;
-  g.nbrs.(u) <- v :: g.nbrs.(u);
-  g.nbrs.(v) <- u :: g.nbrs.(v);
+  g.nbrs.(u) <- insert_sorted v g.nbrs.(u);
+  g.nbrs.(v) <- insert_sorted u g.nbrs.(v);
   g.edge_count <- g.edge_count + 1
 
 let remove_edge g u v =
@@ -135,7 +145,7 @@ module Unsafe = struct
   let add_self_loop g u =
     check_vertex g u "Unsafe.add_self_loop";
     g.adj.(u).(u) <- true;
-    g.nbrs.(u) <- u :: g.nbrs.(u);
+    g.nbrs.(u) <- insert_sorted u g.nbrs.(u);
     g.edge_count <- g.edge_count + 1
 end
 

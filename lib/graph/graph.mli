@@ -45,11 +45,16 @@ val owns : t -> int -> int -> bool
     [u]. *)
 
 val neighbors : t -> int -> int list
-(** All neighbors of a vertex, in unspecified order. *)
+(** All neighbors of a vertex, sorted ascending.  The order is a function
+    of the edge set alone — never of the mutation history — so candidate
+    enumerations are identical across engines that mutate the graph
+    transiently in different ways (the differential suite relies on
+    this). *)
 
 val owned_neighbors : t -> int -> int list
 (** [owned_neighbors g u] are the vertices [v] with [owns g u v] — the
-    current strategy of agent [u] in the asymmetric games. *)
+    current strategy of agent [u] in the asymmetric games.  Sorted
+    ascending, like {!neighbors}. *)
 
 val degree : t -> int -> int
 val owned_degree : t -> int -> int

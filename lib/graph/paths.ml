@@ -52,6 +52,75 @@ module Workspace = struct
     { reached = !tail; sum = !sum; ecc = !ecc }
 
   let profile ws g source = profile_within ws g source (fun _ -> true)
+
+  type bound = Sum_at_most of int | Ecc_at_most of int
+
+  (* BFS visits vertices in nondecreasing distance order, so the partial
+     sum and the current depth are both monotone over the run: the first
+     moment either exceeds its cutoff, the final value provably does too,
+     and the search can stop without an answer. *)
+  let profile_bounded ws g source bound =
+    let n = Graph.n g in
+    if n > Array.length ws.dist then
+      invalid_arg "Paths.Workspace: graph larger than workspace";
+    if source < 0 || source >= n then
+      invalid_arg "Paths.profile_bounded: source";
+    ws.stamp <- ws.stamp + 1;
+    let stamp = ws.stamp in
+    ws.stamps.(source) <- stamp;
+    ws.dist.(source) <- 0;
+    ws.queue.(0) <- source;
+    let head = ref 0 and tail = ref 1 in
+    let sum = ref 0 and ecc = ref 0 in
+    let exceeded = ref false in
+    (match bound with
+    | Sum_at_most c -> if c < 0 then exceeded := true
+    | Ecc_at_most c -> if c < 0 then exceeded := true);
+    while (not !exceeded) && !head < !tail do
+      let u = ws.queue.(!head) in
+      incr head;
+      let du = ws.dist.(u) in
+      let visit v =
+        if (not !exceeded) && ws.stamps.(v) <> stamp then begin
+          ws.stamps.(v) <- stamp;
+          ws.dist.(v) <- du + 1;
+          sum := !sum + du + 1;
+          if du + 1 > !ecc then ecc := du + 1;
+          (match bound with
+          | Sum_at_most c -> if !sum > c then exceeded := true
+          | Ecc_at_most c -> if du + 1 > c then exceeded := true);
+          ws.queue.(!tail) <- v;
+          incr tail
+        end
+      in
+      List.iter visit (Graph.neighbors g u)
+    done;
+    if !exceeded then None else Some { reached = !tail; sum = !sum; ecc = !ecc }
+
+  let distances ws g source =
+    let n = Graph.n g in
+    if n > Array.length ws.dist then
+      invalid_arg "Paths.Workspace: graph larger than workspace";
+    if source < 0 || source >= n then
+      invalid_arg "Paths.Workspace.distances: source";
+    let dist = Array.make n (-1) in
+    dist.(source) <- 0;
+    ws.queue.(0) <- source;
+    let head = ref 0 and tail = ref 1 in
+    while !head < !tail do
+      let u = ws.queue.(!head) in
+      incr head;
+      let du = dist.(u) in
+      let visit v =
+        if dist.(v) < 0 then begin
+          dist.(v) <- du + 1;
+          ws.queue.(!tail) <- v;
+          incr tail
+        end
+      in
+      List.iter visit (Graph.neighbors g u)
+    done;
+    dist
 end
 
 let profile g source =

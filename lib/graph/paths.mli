@@ -61,4 +61,23 @@ module Workspace : sig
       subgraph on [{ v | keep v }]; [u] itself must satisfy [keep].  Used to
       evaluate median/center queries on [G - S] without rebuilding the
       graph. *)
+
+  type bound =
+    | Sum_at_most of int
+        (** give up once the partial distance sum exceeds the cutoff *)
+    | Ecc_at_most of int
+        (** give up once any vertex lies beyond the cutoff depth *)
+
+  val profile_bounded : t -> Graph.t -> int -> bound -> profile option
+  (** [profile_bounded ws g u bound] is [Some p] with [p] exactly equal to
+      [profile ws g u] whenever the bounded quantity stays within its
+      cutoff, and [None] as soon as the monotone partial value exceeds it —
+      which proves the exact value would too.  A disconnected source can
+      still complete within the cutoff; the caller must inspect
+      [p.reached].  The fast dynamics engine uses this to discard candidate
+      moves that provably cannot beat the best response found so far. *)
+
+  val distances : t -> Graph.t -> int -> int array
+  (** Same result as {!val:Paths.distances}, using the workspace queue
+      instead of a [Queue.t]; only the result array is allocated. *)
 end

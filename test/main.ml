@@ -6,6 +6,8 @@ let () =
       Suite_graph.suite;
       Suite_game.suite;
       Suite_core.suite;
+      Suite_differential.suite;
+      Suite_envelope.suite;
       Suite_parallel.suite;
       Suite_instances.suite;
       Suite_search.suite;

@@ -45,6 +45,84 @@ let test_policy_adversarial () =
   Alcotest.(check (list int)) "adversary sees sorted unhappy set"
     [ 0; 1; 3; 4 ] !seen
 
+(* On P5 under MAX-SG exactly {0, 1, 3, 4} are unhappy (the middle agent
+   already has minimum eccentricity) — the fixture for the selection
+   contract tests below. *)
+let test_policy_round_robin_contract () =
+  let model = max_sg 5 in
+  let g = Gen.path 5 in
+  let rng = Random.State.make [| 1 |] in
+  let ws = Paths.Workspace.create 5 in
+  let pick last =
+    Policy.select Policy.Round_robin ~rng ~ws model g ~last
+  in
+  check "first sweep starts at 0" true (pick None = Some 0);
+  check "continues after the last mover" true (pick (Some 0) = Some 1);
+  check "skips the happy agent in between" true (pick (Some 1) = Some 3);
+  check "a happy last mover still anchors the sweep" true
+    (pick (Some 2) = Some 3);
+  check "wraps around past the end" true (pick (Some 4) = Some 0);
+  (* fairness: starting after u, agent u is probed last — from last=3 the
+     next unhappy agent is 4, never 3 again *)
+  check "last mover goes to the back of the queue" true (pick (Some 3) = Some 4)
+
+let test_policy_only_unhappy_selected () =
+  (* Selection contract: whatever the policy, the chosen agent has an
+     improving move.  Fuzzed over random networks and both paths. *)
+  let rng0 = Random.State.make [| 77 |] in
+  for _ = 1 to 20 do
+    let n = 4 + Random.State.int rng0 8 in
+    let g = Gen.random_budget_network rng0 n 2 in
+    let model = sum_asg n in
+    let ws = Paths.Workspace.create n in
+    let witness = Witness.create n in
+    List.iter
+      (fun policy ->
+        let seed = Random.State.int rng0 10_000 in
+        let naive =
+          Policy.select policy
+            ~rng:(Random.State.make [| seed |])
+            ~ws model g ~last:None
+        in
+        let ctx = Response.Fast.create ws model g in
+        let fast =
+          Policy.select_fast policy
+            ~rng:(Random.State.make [| seed |])
+            ~ctx ~witness model g ~last:None
+        in
+        check "fast selection = naive selection" true (naive = fast);
+        match naive with
+        | Some u ->
+            check "selected agent is unhappy" true
+              (Response.is_unhappy model g u)
+        | None ->
+            check "no selection only at stability" true
+              (Response.is_stable model g))
+      [ Policy.Max_cost; Policy.Random_unhappy; Policy.Round_robin ]
+  done
+
+let test_policy_adversarial_contract () =
+  let model = max_sg 5 in
+  let g = Gen.path 5 in
+  let ws = Paths.Workspace.create 5 in
+  let rng = Random.State.make [| 1 |] in
+  (* the scheduler's pick is honored verbatim *)
+  let picky = Policy.Adversarial (fun _ unhappy -> Some (List.hd (List.rev unhappy))) in
+  check "adversary's pick is used" true
+    (Policy.select picky ~rng ~ws model g ~last:None = Some 4);
+  (* the fast path hands the adversary the identical sorted unhappy set *)
+  let seen_naive = ref [] and seen_fast = ref [] in
+  let spy cell = Policy.Adversarial (fun _ unhappy -> cell := unhappy; None) in
+  ignore (Policy.select (spy seen_naive) ~rng ~ws model g ~last:None);
+  let ctx = Response.Fast.create ws model g in
+  let witness = Witness.create 5 in
+  ignore
+    (Policy.select_fast (spy seen_fast) ~rng ~ctx ~witness model g ~last:None);
+  Alcotest.(check (list int)) "fast adversary sees the same unhappy set"
+    !seen_naive !seen_fast;
+  check "every offered agent is genuinely unhappy" true
+    (List.for_all (fun u -> Response.is_unhappy model g u) !seen_fast)
+
 (* ------------------------------------------------------------------ *)
 (* Engine                                                              *)
 (* ------------------------------------------------------------------ *)
@@ -434,6 +512,12 @@ let suite =
       Alcotest.test_case "policies on stable nets" `Quick
         test_policy_converged;
       Alcotest.test_case "adversarial policy" `Quick test_policy_adversarial;
+      Alcotest.test_case "round-robin contract" `Quick
+        test_policy_round_robin_contract;
+      Alcotest.test_case "only unhappy agents selected" `Quick
+        test_policy_only_unhappy_selected;
+      Alcotest.test_case "adversarial contract" `Quick
+        test_policy_adversarial_contract;
       Alcotest.test_case "engine converges on trees" `Quick
         test_engine_converges_tree;
       Alcotest.test_case "engine deterministic" `Quick

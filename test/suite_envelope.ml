@@ -1,0 +1,98 @@
+(* Envelope regression tests: measured convergence lengths must stay
+   inside the paper's asymptotic envelopes, with explicit constants that
+   give headroom but would catch a regression to a slower dynamics (e.g.
+   an engine bug that makes agents dither).  Theorem 2.11: the max-cost
+   policy on MAX-SG trees converges in O(n log n) steps.  Theorem 2.1:
+   any policy on MAX-SG trees converges within the explicit O(n^3)
+   bound. *)
+open Ncg_graph
+open Ncg_game
+open Ncg_core
+
+let check = Alcotest.(check bool)
+
+let max_sg n = Model.make Model.Sg Model.Max n
+
+let run_tree ~policy n seed =
+  let g = Gen.random_tree (Random.State.make [| seed; n |]) n in
+  Engine.run
+    ~rng:(Random.State.make [| seed; n; 0xe0 |])
+    (Engine.config ~policy (max_sg n))
+    g
+
+let test_thm211_envelope () =
+  (* Theorem 2.11 envelope: c * n * log2 n + b with c = 4, b = 16 —
+     roughly an order of magnitude above the measured worst case on
+     random trees, far below the Theta(n^3) a broken fast path could
+     produce. *)
+  List.iter
+    (fun n ->
+      for seed = 1 to 5 do
+        let r = run_tree ~policy:Policy.Max_cost n seed in
+        check
+          (Printf.sprintf "max-cost MAX-SG converges (n=%d seed=%d)" n seed)
+          true (Engine.converged r);
+        check
+          (Printf.sprintf "steps within 4 n log n + 16 (n=%d seed=%d)" n seed)
+          true
+          (float_of_int r.Engine.steps <= (4.0 *. Theory.nlogn n) +. 16.0)
+      done)
+    [ 8; 16; 32; 64 ]
+
+let test_thm21_ceiling () =
+  (* Theorem 2.1 ceiling: every policy stays under the explicit O(n^3)
+     bound on trees — including better-response dynamics. *)
+  let policies =
+    [ Policy.Max_cost; Policy.Random_unhappy; Policy.Round_robin ]
+  in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun policy ->
+          for seed = 1 to 3 do
+            let r = run_tree ~policy n seed in
+            check
+              (Printf.sprintf "within Thm 2.1 bound (n=%d seed=%d)" n seed)
+              true
+              (Engine.converged r
+              && r.Engine.steps <= Theory.thm21_step_bound n)
+          done)
+        policies)
+    [ 6; 12; 24 ]
+
+let prop_thm211_random_trees =
+  QCheck.Test.make ~count:40
+    ~name:"Thm 2.11 envelope holds on random trees (max-cost MAX-SG)"
+    QCheck.(pair (int_bound 100_000) (int_range 4 40))
+    (fun (seed, n) ->
+      let r = run_tree ~policy:Policy.Max_cost n seed in
+      Engine.converged r
+      && float_of_int r.Engine.steps <= (4.0 *. Theory.nlogn n) +. 16.0)
+
+let prop_envelope_monotone_sanity =
+  (* The per-size worst case over a fixed seed pool grows sub-cubically:
+     doubling n from 16 to 32 must multiply the observed maximum by far
+     less than 8 (the Theta(n^3) factor).  A fast-path bug that silently
+     degraded best responses to weaker moves would blow this up. *)
+  QCheck.Test.make ~count:1 ~name:"observed growth 16->32 is sub-cubic"
+    QCheck.(always ())
+    (fun () ->
+      let worst n =
+        let m = ref 0 in
+        for seed = 1 to 8 do
+          let r = run_tree ~policy:Policy.Max_cost n seed in
+          m := max !m r.Engine.steps
+        done;
+        !m
+      in
+      worst 32 < 8 * max 1 (worst 16))
+
+let suite =
+  ( "envelope",
+    [
+      Alcotest.test_case "Thm 2.11 n log n envelope" `Quick
+        test_thm211_envelope;
+      Alcotest.test_case "Thm 2.1 cubic ceiling" `Quick test_thm21_ceiling;
+    ]
+    @ List.map QCheck_alcotest.to_alcotest
+        [ prop_thm211_random_trees; prop_envelope_monotone_sanity ] )

@@ -127,6 +127,53 @@ let test_workspace_reuse () =
   check_int "restricted reach" 5 p3.Paths.reached;
   check_int "restricted ecc" 2 p3.Paths.ecc
 
+let test_bounded_profile () =
+  let ws = Paths.Workspace.create 10 in
+  let g = Gen.path 6 in
+  (* from vertex 0: sum = 1+2+3+4+5 = 15, ecc = 5 *)
+  let full = Paths.Workspace.profile ws g 0 in
+  check "tight sum cutoff completes" true
+    (Paths.Workspace.profile_bounded ws g 0 (Paths.Workspace.Sum_at_most 15)
+    = Some full);
+  check "sum cutoff one short aborts" true
+    (Paths.Workspace.profile_bounded ws g 0 (Paths.Workspace.Sum_at_most 14)
+    = None);
+  check "tight ecc cutoff completes" true
+    (Paths.Workspace.profile_bounded ws g 0 (Paths.Workspace.Ecc_at_most 5)
+    = Some full);
+  check "ecc cutoff one short aborts" true
+    (Paths.Workspace.profile_bounded ws g 0 (Paths.Workspace.Ecc_at_most 4)
+    = None);
+  check "negative cutoff aborts even with sum 0" true
+    (Paths.Workspace.profile_bounded ws (Graph.create 1) 0
+       (Paths.Workspace.Sum_at_most (-1))
+    = None);
+  (* a disconnected source can complete within the cutoff; the caller sees
+     the disconnection through [reached] *)
+  let iso = Graph.of_edges 4 [ (1, 2); (2, 3) ] in
+  (match
+     Paths.Workspace.profile_bounded ws iso 0 (Paths.Workspace.Sum_at_most 99)
+   with
+  | Some p -> check_int "lone source reaches itself" 1 p.Paths.reached
+  | None -> Alcotest.fail "cutoff 99 cannot be exceeded by sum 0");
+  (* workspace survives an aborted scan: the next query is unpolluted *)
+  ignore
+    (Paths.Workspace.profile_bounded ws g 0 (Paths.Workspace.Sum_at_most 3));
+  check "clean state after abort" true
+    (Paths.Workspace.profile ws g 0 = full)
+
+let test_workspace_distances () =
+  let ws = Paths.Workspace.create 10 in
+  let g = Graph.of_edges 5 [ (0, 1); (1, 2); (2, 0) ] in
+  let d = Paths.Workspace.distances ws g 0 in
+  check "workspace distances match Paths.distances" true
+    (d = Paths.distances g 0);
+  check_int "unreachable is -1" (-1) d.(4);
+  (* fresh array each call: mutating one result must not leak *)
+  d.(1) <- 99;
+  check "results are independent arrays" true
+    (Paths.Workspace.distances ws g 0 = Paths.distances g 0)
+
 (* Reference all-pairs via Floyd-Warshall for property testing. *)
 let floyd g =
   let n = Graph.n g in
@@ -193,6 +240,31 @@ let path_properties =
         match (Paths.radius g, Paths.diameter g) with
         | Some r, Some d -> r <= d && d <= 2 * r
         | _, _ -> false);
+    prop "bounded profile = exact profile iff within cutoff" (fun params ->
+        let g = graph_of params in
+        let ws = Paths.Workspace.create (Graph.n g) in
+        List.for_all
+          (fun u ->
+            let p = Paths.profile g u in
+            (* probe cutoffs straddling the true value in both modes *)
+            List.for_all
+              (fun (bound, within) ->
+                let got = Paths.Workspace.profile_bounded ws g u bound in
+                if within then got = Some p else got = None)
+              [
+                (Paths.Workspace.Sum_at_most p.Paths.sum, true);
+                (Paths.Workspace.Sum_at_most (p.Paths.sum - 1), false);
+                (Paths.Workspace.Ecc_at_most p.Paths.ecc, true);
+                (* ecc 0 makes this cutoff negative, which also aborts *)
+                (Paths.Workspace.Ecc_at_most (p.Paths.ecc - 1), false);
+              ])
+          (Graph.vertices g));
+    prop "workspace distances = Paths.distances" (fun params ->
+        let g = graph_of params in
+        let ws = Paths.Workspace.create (Graph.n g) in
+        List.for_all
+          (fun u -> Paths.Workspace.distances ws g u = Paths.distances g u)
+          (Graph.vertices g));
   ]
 
 (* ------------------------------------------------------------------ *)
@@ -385,6 +457,9 @@ let suite =
       Alcotest.test_case "center and radius" `Quick test_center_radius;
       Alcotest.test_case "trivial graphs" `Quick test_trivial_graphs;
       Alcotest.test_case "workspace reuse" `Quick test_workspace_reuse;
+      Alcotest.test_case "bounded profile" `Quick test_bounded_profile;
+      Alcotest.test_case "workspace distances" `Quick
+        test_workspace_distances;
       Alcotest.test_case "tree predicates" `Quick test_tree_predicates;
       Alcotest.test_case "bridges" `Quick test_bridges;
       Alcotest.test_case "paths between" `Quick test_paths_between;
