@@ -335,6 +335,7 @@ type fastpath_report = {
   fp_scan_domains : int;
   reference : engine_sample;
   fast : engine_sample;
+  fast_sentinel : engine_sample;
   fast_parallel : engine_sample;
   identical : bool;
 }
@@ -379,6 +380,15 @@ let fastpath scale =
   let fast, fast_runs =
     time (fun seed g -> Engine.run ~rng:(rng seed) (cfg 1) g)
   in
+  (* the self-healing deployment configuration: 1% of steps shadow-checked
+     against the naive machinery.  Must keep the speedup floor. *)
+  let sentinel_cfg =
+    Engine.config ~policy:Policy.Max_cost ~tie_break:Engine.Prefer_deletion
+      ~sentinel:(Sentinel.Sampled 0.01) ~scan_domains:1 model
+  in
+  let fast_sentinel, sent_runs =
+    time (fun seed g -> Engine.run ~rng:(rng seed) sentinel_cfg g)
+  in
   let fast_parallel, par_runs =
     time (fun seed g -> Engine.run ~rng:(rng seed) (cfg domains) g)
   in
@@ -394,6 +404,18 @@ let fastpath scale =
            a.Engine.steps = b.Engine.steps
            && Graph.equal a.Engine.final b.Engine.final)
          fast_runs par_runs
+    && List.for_all2
+         (fun (a : Engine.result) (b : Engine.result) ->
+           a.Engine.steps = b.Engine.steps
+           && Graph.equal a.Engine.final b.Engine.final)
+         fast_runs sent_runs
+  in
+  let sentinel_clean =
+    List.for_all
+      (fun (r : Engine.result) ->
+        r.Engine.sentinel.Sentinel.incidents = []
+        && r.Engine.sentinel.Sentinel.degraded_at = None)
+      sent_runs
   in
   let per_s { wall_s; steps } =
     if wall_s > 0.0 then float_of_int steps /. wall_s else 0.0
@@ -404,13 +426,21 @@ let fastpath scale =
   in
   show "reference (naive)" reference;
   show "fast (1 domain)" fast;
+  show "fast + sentinel 1%" fast_sentinel;
   show (Printf.sprintf "fast (%d domains)" domains) fast_parallel;
   let speedup =
     if fast.wall_s > 0.0 then reference.wall_s /. fast.wall_s else 0.0
   in
-  Printf.printf "  speedup: %.2fx\n" speedup;
+  let sentinel_speedup =
+    if fast_sentinel.wall_s > 0.0 then reference.wall_s /. fast_sentinel.wall_s
+    else 0.0
+  in
+  Printf.printf "  speedup: %.2fx (%.2fx with 1%% sentinel)\n" speedup
+    sentinel_speedup;
   check "identical trajectories across engines" identical;
+  check "sentinel saw no divergence on the healthy path" sentinel_clean;
   check "fast engine at least 3x faster" (speedup >= 3.0);
+  check "1% sentinel keeps the 3x floor" (sentinel_speedup >= 3.0);
   fastpath_report :=
     Some
       {
@@ -421,6 +451,7 @@ let fastpath scale =
         fp_scan_domains = domains;
         reference;
         fast;
+        fast_sentinel;
         fast_parallel;
         identical;
       }
@@ -483,12 +514,19 @@ let write_json path ~scale ~timings =
             ("trials", string_of_int r.fp_trials);
             ("reference", sample_json r.reference);
             ("fast", sample_json r.fast);
+            ("fast_sentinel", sample_json r.fast_sentinel);
+            ("sentinel_rate", Json.num 0.01);
             ("fast_parallel", sample_json r.fast_parallel);
             ("scan_domains", string_of_int r.fp_scan_domains);
             ( "speedup",
               Json.num
                 (if r.fast.wall_s > 0.0 then
                    r.reference.wall_s /. r.fast.wall_s
+                 else 0.0) );
+            ( "sentinel_speedup",
+              Json.num
+                (if r.fast_sentinel.wall_s > 0.0 then
+                   r.reference.wall_s /. r.fast_sentinel.wall_s
                  else 0.0) );
             ("identical_trajectories", string_of_bool r.identical);
           ]

@@ -94,12 +94,90 @@ let with_checkpoint ~cmd ~ns ~trials ~seed ~checkpoint ~resume k =
       in
       match Checkpoint.open_ ~resume ~fingerprint path with
       | cp ->
+          (* Surface what the loader recovered — a non-tail corrupt line
+             means the storage damaged the file, which the user should
+             know even though the affected trials simply rerun. *)
+          if resume then
+            Format.printf "checkpoint %s: %a@." path Checkpoint.pp_load_report
+              (Checkpoint.load_report cp);
           Fun.protect
             ~finally:(fun () -> Checkpoint.close cp)
             (fun () -> k (Some cp))
       | exception Failure msg ->
           Printf.eprintf "ncg_sim: %s\n" msg;
           exit 2)
+
+let sentinel_term =
+  let doc =
+    "Shadow-verify each dynamics step against the reference engine with \
+     probability $(docv) (0 disables, 1 checks every step).  A detected \
+     divergence degrades that trial to the reference engine and is \
+     counted in the summary."
+  in
+  Arg.(value & opt float 0.0 & info [ "sentinel" ] ~docv:"RATE" ~doc)
+
+let sentinel_of rate =
+  if Float.is_nan rate || rate < 0.0 || rate > 1.0 then (
+    Printf.eprintf "ncg_sim: --sentinel must be in [0,1]\n";
+    exit 2);
+  if rate = 0.0 then Ncg_core.Sentinel.Off
+  else if rate >= 1.0 then Ncg_core.Sentinel.Every_step
+  else Ncg_core.Sentinel.Sampled rate
+
+let retries_term =
+  let doc =
+    "Retry crashed, timed-out or faulted trials up to $(docv) times on a \
+     fresh sub-seed, doubling any per-trial time budget each attempt; a \
+     trial failing every attempt is quarantined, not fatal."
+  in
+  Arg.(value & opt int 0 & info [ "max-retries" ] ~docv:"N" ~doc)
+
+let incidents_term =
+  let doc =
+    "Append sentinel divergences, degraded trials and quarantined trials \
+     to $(docv), one JSON object per line."
+  in
+  Arg.(
+    value & opt (some string) None & info [ "incidents" ] ~docv:"FILE" ~doc)
+
+let with_incidents path k =
+  match path with
+  | None -> k None
+  | Some p ->
+      let log = Incident_log.open_ p in
+      Fun.protect
+        ~finally:(fun () -> Incident_log.close log)
+        (fun () -> k (Some log))
+
+(* SIGINT/SIGTERM request a cooperative stop: the sweep finishes and
+   records its in-flight batch, then raises [Runner.Interrupted], the
+   checkpoint is closed on unwind, and we exit with the conventional
+   128+SIGINT code after printing how to pick the sweep back up. *)
+let install_signal_handlers () =
+  let handle _ = Runner.request_stop () in
+  List.iter
+    (fun signal ->
+      try Sys.set_signal signal (Sys.Signal_handle handle)
+      with Invalid_argument _ | Sys_error _ -> ())
+    [ Sys.sigint; Sys.sigterm ]
+
+let interruptible ~checkpoint k =
+  install_signal_handlers ();
+  match k () with
+  | () -> ()
+  | exception Runner.Interrupted ->
+      flush stdout;
+      (match checkpoint with
+      | Some path ->
+          Printf.eprintf
+            "ncg_sim: interrupted; completed trials are checkpointed.\n\
+             Resume with: --checkpoint %s --resume\n"
+            path
+      | None ->
+          Printf.eprintf
+            "ncg_sim: interrupted; no --checkpoint was given, so completed \
+             trials are lost.\n");
+      exit 130
 
 let out_term =
   let doc = "Also write gnuplot-ready data to $(docv)." in
@@ -126,18 +204,25 @@ let sweep_term cmd_name run =
   Term.(
     const run $ ns_term $ trials_term $ seed_term $ domains_term $ out_term
     $ value_term
-    $ checkpoint_term $ resume_term $ cmd_term)
+    $ checkpoint_term $ resume_term $ sentinel_term $ retries_term
+    $ incidents_term $ cmd_term)
 
 let asg_cmd name dist_sel figure =
-  let run ns trials seed domains out value checkpoint resume cmd =
-    with_checkpoint ~cmd ~ns ~trials ~seed ~checkpoint ~resume (fun cp ->
-        let p =
-          { (Asg_budget.default (dist_of dist_sel)) with
-            Asg_budget.ns; trials; seed;
-            domains = resolve_domains domains;
-            checkpoint = cp }
-        in
-        emit out value (Asg_budget.sweep p))
+  let run ns trials seed domains out value checkpoint resume sentinel
+      max_retries incidents cmd =
+    interruptible ~checkpoint (fun () ->
+        with_checkpoint ~cmd ~ns ~trials ~seed ~checkpoint ~resume (fun cp ->
+            with_incidents incidents (fun log ->
+                let p =
+                  { (Asg_budget.default (dist_of dist_sel)) with
+                    Asg_budget.ns; trials; seed;
+                    domains = resolve_domains domains;
+                    checkpoint = cp;
+                    sentinel = sentinel_of sentinel;
+                    max_retries;
+                    incidents = log }
+                in
+                emit out value (Asg_budget.sweep p))))
   in
   let doc =
     Printf.sprintf "Reproduce %s: bounded-budget ASG convergence." figure
@@ -145,29 +230,41 @@ let asg_cmd name dist_sel figure =
   Cmd.v (Cmd.info name ~doc) (sweep_term name run)
 
 let gbg_cmd name dist_sel figure =
-  let run ns trials seed domains out value checkpoint resume cmd =
-    with_checkpoint ~cmd ~ns ~trials ~seed ~checkpoint ~resume (fun cp ->
-        let p =
-          { (Gbg_sweep.default (dist_of dist_sel)) with
-            Gbg_sweep.ns; trials; seed;
-            domains = resolve_domains domains;
-            checkpoint = cp }
-        in
-        emit out value (Gbg_sweep.sweep p))
+  let run ns trials seed domains out value checkpoint resume sentinel
+      max_retries incidents cmd =
+    interruptible ~checkpoint (fun () ->
+        with_checkpoint ~cmd ~ns ~trials ~seed ~checkpoint ~resume (fun cp ->
+            with_incidents incidents (fun log ->
+                let p =
+                  { (Gbg_sweep.default (dist_of dist_sel)) with
+                    Gbg_sweep.ns; trials; seed;
+                    domains = resolve_domains domains;
+                    checkpoint = cp;
+                    sentinel = sentinel_of sentinel;
+                    max_retries;
+                    incidents = log }
+                in
+                emit out value (Gbg_sweep.sweep p))))
   in
   let doc = Printf.sprintf "Reproduce %s: GBG convergence sweep." figure in
   Cmd.v (Cmd.info name ~doc) (sweep_term name run)
 
 let topo_cmd name dist_sel figure =
-  let run ns trials seed domains out value checkpoint resume cmd =
-    with_checkpoint ~cmd ~ns ~trials ~seed ~checkpoint ~resume (fun cp ->
-        let p =
-          { (Topology.default (dist_of dist_sel)) with
-            Topology.ns; trials; seed;
-            domains = resolve_domains domains;
-            checkpoint = cp }
-        in
-        emit out value (Topology.sweep p))
+  let run ns trials seed domains out value checkpoint resume sentinel
+      max_retries incidents cmd =
+    interruptible ~checkpoint (fun () ->
+        with_checkpoint ~cmd ~ns ~trials ~seed ~checkpoint ~resume (fun cp ->
+            with_incidents incidents (fun log ->
+                let p =
+                  { (Topology.default (dist_of dist_sel)) with
+                    Topology.ns; trials; seed;
+                    domains = resolve_domains domains;
+                    checkpoint = cp;
+                    sentinel = sentinel_of sentinel;
+                    max_retries;
+                    incidents = log }
+                in
+                emit out value (Topology.sweep p))))
   in
   let doc =
     Printf.sprintf "Reproduce %s: GBG starting-topology comparison." figure

@@ -11,21 +11,22 @@ type config = {
   detect_cycles : bool;
   record_history : bool;
   audit : Audit.level;
+  sentinel : Sentinel.level;
   time_budget : float option;
   scan_domains : int;
 }
 
 let config ?(policy = Policy.Max_cost) ?(move_rule = Best_response)
     ?(tie_break = Uniform) ?max_steps ?(detect_cycles = false)
-    ?(record_history = true) ?(audit = Audit.Off) ?time_budget
-    ?(scan_domains = 1) model =
+    ?(record_history = true) ?(audit = Audit.Off)
+    ?(sentinel = Sentinel.Off) ?time_budget ?(scan_domains = 1) model =
   let max_steps =
     match max_steps with
     | Some s -> s
     | None -> (100 * Model.n model) + 1000
   in
   { model; policy; move_rule; tie_break; max_steps; detect_cycles;
-    record_history; audit; time_budget; scan_domains }
+    record_history; audit; sentinel; time_budget; scan_domains }
 
 type step = {
   index : int;
@@ -47,6 +48,7 @@ type result = {
   steps : int;
   history : step list;
   final : Graph.t;
+  sentinel : Sentinel.report;
 }
 
 let kind_rank = function
@@ -59,26 +61,44 @@ let pick_uniform rng = function
   | [] -> None
   | moves -> Some (List.nth moves (Random.State.int rng (List.length moves)))
 
-(* Choose the move the selected agent performs — the fast path.  The
-   witness move cached for [u] seeds best-response pruning; it never
-   changes the chosen list, which is bit-identical to the naive
-   [Response.best_moves] (see DESIGN.md §9), so the RNG consumption of the
-   tie-break matches [Reference.choose_move] draw for draw. *)
-let choose_move cfg rng ctx witness g u =
-  let open Response in
+(* Tie-break among precomputed candidates.  On an equal candidate list the
+   RNG draws are exactly those of [Reference.choose_move] — which is what
+   lets the sentinel compare lists *before* any draw and still hand the
+   reference path an unperturbed stream on divergence. *)
+let pick_from cfg rng g moves =
   match cfg.move_rule with
-  | Any_improving -> pick_uniform rng (Fast.improving_moves ctx u)
+  | Any_improving -> pick_uniform rng moves
   | Best_response -> (
-      let best = Fast.best_moves ?prior:(Witness.get witness u) ctx u in
       match cfg.tie_break with
-      | First_candidate -> ( match best with [] -> None | e :: _ -> Some e)
-      | Uniform -> pick_uniform rng best
+      | First_candidate -> ( match moves with [] -> None | e :: _ -> Some e)
+      | Uniform -> pick_uniform rng moves
       | Prefer_deletion ->
-          let rank e = kind_rank (Move.classify_effect g e.move) in
+          let rank e = kind_rank (Move.classify_effect g e.Response.move) in
           let min_rank =
-            List.fold_left (fun acc e -> min acc (rank e)) max_int best
+            List.fold_left (fun acc e -> min acc (rank e)) max_int moves
           in
-          pick_uniform rng (List.filter (fun e -> rank e = min_rank) best))
+          pick_uniform rng (List.filter (fun e -> rank e = min_rank) moves))
+
+(* The candidate moves of the selected agent — the fast path.  The witness
+   move cached for [u] seeds best-response pruning; it never changes the
+   list, which is bit-identical to the naive [Response.best_moves] (see
+   DESIGN.md §9), so the RNG consumption of the tie-break matches
+   [Reference.choose_move] draw for draw. *)
+let fast_candidates cfg ctx witness u =
+  match cfg.move_rule with
+  | Any_improving -> Response.Fast.improving_moves ctx u
+  | Best_response ->
+      Response.Fast.best_moves ?prior:(Witness.get witness u) ctx u
+
+(* The same candidates through the naive machinery — the shadow replay and
+   the degraded (post-divergence) path. *)
+let naive_candidates cfg ~ws g u =
+  match cfg.move_rule with
+  | Any_improving -> Response.improving_moves ~ws cfg.model g u
+  | Best_response -> Response.best_moves ~ws cfg.model g u
+
+let choose_move cfg rng ctx witness g u =
+  pick_from cfg rng g (fast_candidates cfg ctx witness u)
 
 let state_key model g =
   if Model.uses_ownership model then Canonical.key g else Canonical.unowned_key g
@@ -114,7 +134,82 @@ let run ?rng cfg initial =
     | [] -> None
     | v :: _ -> Some v
   in
-  let rec loop step last =
+  (* Sentinel state.  The sentinel RNG and the shadow workspace are private
+     to the verification layer: the trial's own draw stream and the live
+     context's BFS scratch are never touched, so a healthy checked run is
+     bit-identical to an unchecked one. *)
+  let srng = Sentinel.make_rng (Graph.n g) in
+  let shadow_ws = lazy (Paths.Workspace.create (Graph.n g)) in
+  let checked = ref 0 in
+  let incidents = ref [] in
+  let degraded_at = ref None in
+  let note_incident step phase =
+    incidents :=
+      { Sentinel.step; fingerprint = state_key cfg.model g; phase }
+      :: !incidents
+  in
+  let happy_violation step u =
+    (* The policy contract promises only unhappy agents, so an improving
+       move must exist; surface the breach as a typed violation rather
+       than crashing the whole sweep. *)
+    ( Invariant_violation
+        {
+          Audit.kind = Audit.Happy_agent_selected;
+          step;
+          subject = Some u;
+          detail =
+            Printf.sprintf "policy selected agent %d with no improving move"
+              u;
+        },
+      step )
+  in
+  (* Post-choice step body shared by the fast and the degraded path: audit
+     the move contract, apply, record, audit the graph, detect cycles,
+     then continue via [next]. *)
+  let finish_step step u (e : Response.evaluated) next =
+    let effect = Move.classify_effect g e.Response.move in
+    let contract =
+      if cfg.audit = Audit.Off then None
+      else
+        Audit.check_move ~step cfg.model ~mover:u ~before:e.Response.before
+          ~after:e.Response.after
+    in
+    match contract with
+    | Some v -> (Invariant_violation v, step)
+    | None -> (
+        ignore (Move.apply g e.Response.move);
+        Witness.clear witness u;
+        if cfg.record_history then
+          history :=
+            {
+              index = step;
+              move = e.Response.move;
+              effect;
+              cost_before = e.Response.before;
+              cost_after = e.Response.after;
+            }
+            :: !history;
+        let step = step + 1 in
+        match
+          if Audit.should_check cfg.audit step then audit_graph step
+          else None
+        with
+        | Some v -> (Invariant_violation v, step)
+        | None ->
+            if cfg.detect_cycles then begin
+              let key = state_key cfg.model g in
+              match Hashtbl.find_opt seen key with
+              | Some first_visit ->
+                  (Cycle_detected
+                     { first_visit; period = step - first_visit },
+                   step)
+              | None ->
+                  Hashtbl.replace seen key step;
+                  next step (Some u)
+            end
+            else next step (Some u))
+  in
+  let rec fast_loop step last =
     if step >= cfg.max_steps then (Step_limit, step)
     else if out_of_time () then (Time_limit, step)
     else
@@ -122,71 +217,83 @@ let run ?rng cfg initial =
          network and every applied move invalidates them wholesale.  The
          witness cache survives across steps — probes revalidate. *)
       let ctx = Response.Fast.create ws cfg.model g in
-      match
+      let checking = Sentinel.due cfg.sentinel srng in
+      let snap =
+        if checking && Sentinel.shadows_selection cfg.policy then
+          Some (Random.State.copy rng)
+        else None
+      in
+      let picked =
         Policy.select_fast cfg.policy ~rng ~ctx ~witness
           ~domains:cfg.scan_domains cfg.model g ~last
-      with
+      in
+      let shadow_sel =
+        match snap with
+        | None -> `Agree
+        | Some shadow_rng ->
+            incr checked;
+            let reference =
+              Policy.select cfg.policy ~rng:shadow_rng
+                ~ws:(Lazy.force shadow_ws) cfg.model g ~last
+            in
+            if reference = picked then `Agree else `Diverged reference
+      in
+      match shadow_sel with
+      | `Diverged reference -> (
+          note_incident step (Sentinel.Selection { fast = picked; reference });
+          degraded_at := Some step;
+          (* [select] and [select_fast] consume identical RNG draw counts
+             (the shuffle alone, probes draw nothing), so continuing with
+             the live [rng] follows the reference stream exactly. *)
+          match reference with
+          | None -> (Converged, step)
+          | Some u -> ref_move step u)
+      | `Agree -> (
+          match picked with
+          | None -> (Converged, step)
+          | Some u ->
+              if checking then begin
+                if snap = None then incr checked;
+                let fast = fast_candidates cfg ctx witness u in
+                let reference =
+                  naive_candidates cfg ~ws:(Lazy.force shadow_ws) g u
+                in
+                if Sentinel.moves_equal fast reference then
+                  match pick_from cfg rng g fast with
+                  | None -> happy_violation step u
+                  | Some e -> finish_step step u e fast_loop
+                else begin
+                  note_incident step
+                    (Sentinel.Move_set { agent = u; fast; reference });
+                  degraded_at := Some step;
+                  (* caught before any tie-break draw: picking from the
+                     reference list keeps the trajectory bit-identical to
+                     a pure reference run *)
+                  match pick_from cfg rng g reference with
+                  | None -> happy_violation step u
+                  | Some e -> finish_step step u e ref_loop
+                end
+              end
+              else
+                match choose_move cfg rng ctx witness g u with
+                | None -> happy_violation step u
+                | Some e -> finish_step step u e fast_loop)
+  (* The degraded remainder: the naive machinery verbatim (cf.
+     [Reference.run]) on the live RNG — graceful degradation, not a
+     crash. *)
+  and ref_loop step last =
+    if step >= cfg.max_steps then (Step_limit, step)
+    else if out_of_time () then (Time_limit, step)
+    else
+      match Policy.select cfg.policy ~rng ~ws cfg.model g ~last with
       | None -> (Converged, step)
-      | Some u -> (
-          match choose_move cfg rng ctx witness g u with
-          | None ->
-              (* The policy contract promises only unhappy agents, so an
-                 improving move must exist; surface the breach as a typed
-                 violation rather than crashing the whole sweep. *)
-              (Invariant_violation
-                 {
-                   Audit.kind = Audit.Happy_agent_selected;
-                   step;
-                   subject = Some u;
-                   detail =
-                     Printf.sprintf
-                       "policy selected agent %d with no improving move" u;
-                 },
-               step)
-          | Some e ->
-              let effect = Move.classify_effect g e.Response.move in
-              let contract =
-                if cfg.audit = Audit.Off then None
-                else
-                  Audit.check_move ~step cfg.model ~mover:u
-                    ~before:e.Response.before ~after:e.Response.after
-              in
-              (match contract with
-              | Some v -> (Invariant_violation v, step)
-              | None ->
-              ignore (Move.apply g e.Response.move);
-              Witness.clear witness u;
-              if cfg.record_history then
-                history :=
-                  {
-                    index = step;
-                    move = e.Response.move;
-                    effect;
-                    cost_before = e.Response.before;
-                    cost_after = e.Response.after;
-                  }
-                  :: !history;
-              let step = step + 1 in
-              match
-                if Audit.should_check cfg.audit step then audit_graph step
-                else None
-              with
-              | Some v -> (Invariant_violation v, step)
-              | None ->
-                  if cfg.detect_cycles then begin
-                    let key = state_key cfg.model g in
-                    match Hashtbl.find_opt seen key with
-                    | Some first_visit ->
-                        (Cycle_detected
-                           { first_visit; period = step - first_visit },
-                         step)
-                    | None ->
-                        Hashtbl.replace seen key step;
-                        loop step (Some u)
-                  end
-                  else loop step (Some u)))
+      | Some u -> ref_move step u
+  and ref_move step u =
+    match pick_from cfg rng g (naive_candidates cfg ~ws g u) with
+    | None -> happy_violation step u
+    | Some e -> finish_step step u e ref_loop
   in
-  let reason, steps = loop 0 None in
+  let reason, steps = fast_loop 0 None in
   let reason =
     (* Whatever the sampling level, always audit the final state. *)
     match reason with
@@ -198,7 +305,14 @@ let run ?rng cfg initial =
           | Some v -> Invariant_violation v
           | None -> reason)
   in
-  { reason; steps; history = List.rev !history; final = g }
+  let sentinel =
+    {
+      Sentinel.checked = !checked;
+      incidents = List.rev !incidents;
+      degraded_at = !degraded_at;
+    }
+  in
+  { reason; steps; history = List.rev !history; final = g; sentinel }
 
 let converged r = match r.reason with
   | Converged -> true

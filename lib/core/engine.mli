@@ -42,6 +42,13 @@ type config = {
           audited and every applied move's cost contract is checked.  If the
           initial network is connected, connectivity is part of the audit
           (improving moves cannot disconnect a connected network). *)
+  sentinel : Sentinel.level;
+      (** shadow verification: at sampled steps the engine replays the
+          step through the naive machinery and compares.  On divergence
+          the trial records a typed incident and {e degrades} — it
+          finishes on the reference path, bit-identical to a pure
+          {!Reference.run} (see {!Sentinel} for the soundness argument).
+          Healthy runs are unaffected at any level. *)
   time_budget : float option;
       (** wall-clock budget in seconds for this run; exceeding it stops the
           run with {!Time_limit}. *)
@@ -60,13 +67,14 @@ val config :
   ?detect_cycles:bool ->
   ?record_history:bool ->
   ?audit:Audit.level ->
+  ?sentinel:Sentinel.level ->
   ?time_budget:float ->
   ?scan_domains:int ->
   Model.t ->
   config
 (** Defaults: max-cost policy, best response, uniform ties, [100 * n + 1000]
-    steps, cycle detection off, history on, audit off, no time budget, one
-    scan domain. *)
+    steps, cycle detection off, history on, audit off, sentinel off, no time
+    budget, one scan domain. *)
 
 type step = {
   index : int;  (** 0-based position in the run *)
@@ -92,6 +100,9 @@ type result = {
   steps : int;  (** number of moves performed *)
   history : step list;  (** chronological; empty unless [record_history] *)
   final : Graph.t;
+  sentinel : Sentinel.report;
+      (** shadow-verification outcome; {!Sentinel.clean_report} whenever
+          the sentinel is off or no checked step diverged *)
 }
 
 val run : ?rng:Random.State.t -> config -> Graph.t -> result

@@ -139,4 +139,8 @@ let run ?rng (cfg : Engine.config) initial =
           | Some v -> Engine.Invariant_violation v
           | None -> reason)
   in
-  { Engine.reason; steps; history = List.rev !history; final = g }
+  { Engine.reason;
+    steps;
+    history = List.rev !history;
+    final = g;
+    sentinel = Sentinel.clean_report }

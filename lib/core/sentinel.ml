@@ -1,0 +1,67 @@
+type level = Off | Sampled of float | Every_step
+
+type phase =
+  | Selection of { fast : int option; reference : int option }
+  | Move_set of {
+      agent : int;
+      fast : Response.evaluated list;
+      reference : Response.evaluated list;
+    }
+
+type incident = { step : int; fingerprint : string; phase : phase }
+
+type report = {
+  checked : int;
+  incidents : incident list;
+  degraded_at : int option;
+}
+
+let clean_report = { checked = 0; incidents = []; degraded_at = None }
+
+let make_rng n = Random.State.make [| 0x5e47; n |]
+
+let due level srng =
+  match level with
+  | Off -> false
+  | Every_step -> true
+  | Sampled rate ->
+      (* the draw happens before the rate test so a given (level, step)
+         always consumes the same sentinel-stream prefix *)
+      rate > 0.0 && (rate >= 1.0 || Random.State.float srng 1.0 < rate)
+
+let shadows_selection = function
+  | Policy.Adversarial _ -> false
+  | Policy.Max_cost | Policy.Random_unhappy | Policy.Round_robin -> true
+
+let evaluated_equal (a : Response.evaluated) (b : Response.evaluated) =
+  Move.equal a.Response.move b.Response.move
+  && a.Response.before = b.Response.before
+  && a.Response.after = b.Response.after
+
+let moves_equal = List.equal evaluated_equal
+
+let pp_moves fmt moves =
+  Format.fprintf fmt "[%s]"
+    (String.concat "; "
+       (List.map
+          (fun (e : Response.evaluated) ->
+            Printf.sprintf "%s: %s -> %s"
+              (Move.to_string e.Response.move)
+              (Cost.to_string e.Response.before)
+              (Cost.to_string e.Response.after))
+          moves))
+
+let pp_incident fmt i =
+  (match i.phase with
+  | Selection { fast; reference } ->
+      let agent = function None -> "converged" | Some u -> string_of_int u in
+      Format.fprintf fmt
+        "step %d: selection diverged (fast picked %s, reference picked %s)"
+        i.step (agent fast) (agent reference)
+  | Move_set { agent; fast; reference } ->
+      Format.fprintf fmt
+        "step %d: move set of agent %d diverged (fast %a, reference %a)"
+        i.step agent pp_moves fast pp_moves reference);
+  Format.fprintf fmt " at state %s" (String.escaped i.fingerprint)
+
+let incident_to_string i = Format.asprintf "%a" pp_incident i

@@ -1,9 +1,23 @@
-type outcome =
+type verdict =
   | Finished of { reason : Engine.stop_reason; steps : int }
   | Crashed of { exn : string; backtrace : string }
 
+type outcome = {
+  verdict : verdict;
+  attempts : int;
+  degraded : bool;
+  quarantined : bool;
+}
+
+let of_verdict ?(attempts = 1) ?(degraded = false) ?(quarantined = false)
+    verdict =
+  if attempts < 1 then invalid_arg "Stats.of_verdict: attempts < 1";
+  { verdict; attempts; degraded; quarantined }
+
 let outcome_of_result (r : Engine.result) =
-  Finished { reason = r.Engine.reason; steps = r.Engine.steps }
+  of_verdict
+    ~degraded:(r.Engine.sentinel.Sentinel.degraded_at <> None)
+    (Finished { reason = r.Engine.reason; steps = r.Engine.steps })
 
 type summary = {
   runs : int;
@@ -13,6 +27,9 @@ type summary = {
   timed_out : int;
   faulted : int;
   errors : int;
+  retried : int;
+  quarantined : int;
+  degraded : int;
   avg_steps : float;
   max_steps : int;
   min_steps : int;
@@ -22,11 +39,13 @@ let summarize_outcomes outcomes =
   let runs = List.length outcomes in
   let count p = List.length (List.filter p outcomes) in
   let reason_count p =
-    count (function Finished f -> p f.reason | Crashed _ -> false)
+    count (fun o ->
+        match o.verdict with Finished f -> p f.reason | Crashed _ -> false)
   in
   let converged_steps =
     List.filter_map
-      (function
+      (fun o ->
+        match o.verdict with
         | Finished { reason = Engine.Converged; steps } -> Some steps
         | Finished _ | Crashed _ -> None)
       outcomes
@@ -49,7 +68,12 @@ let summarize_outcomes outcomes =
       reason_count (function
         | Engine.Invariant_violation _ -> true
         | _ -> false);
-    errors = count (function Crashed _ -> true | Finished _ -> false);
+    errors =
+      count (fun o ->
+          match o.verdict with Crashed _ -> true | Finished _ -> false);
+    retried = count (fun o -> o.attempts > 1);
+    quarantined = count (fun o -> o.quarantined);
+    degraded = count (fun o -> o.degraded);
     avg_steps;
     max_steps = List.fold_left max 0 converged_steps;
     min_steps =
@@ -66,4 +90,7 @@ let pp fmt s =
     s.converged s.cycles s.limited s.avg_steps s.max_steps s.min_steps;
   if s.timed_out > 0 then Format.fprintf fmt " timed_out=%d" s.timed_out;
   if s.faulted > 0 then Format.fprintf fmt " faulted=%d" s.faulted;
-  if s.errors > 0 then Format.fprintf fmt " errors=%d" s.errors
+  if s.errors > 0 then Format.fprintf fmt " errors=%d" s.errors;
+  if s.retried > 0 then Format.fprintf fmt " retried=%d" s.retried;
+  if s.quarantined > 0 then Format.fprintf fmt " quarantined=%d" s.quarantined;
+  if s.degraded > 0 then Format.fprintf fmt " degraded=%d" s.degraded

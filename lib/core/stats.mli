@@ -3,18 +3,38 @@
     The paper's plots report, per configuration, the average and the
     maximum number of steps until convergence over many random trials
     (Figs. 7, 8, 11-14); this is the matching reduction.  Beyond the
-    paper, a batch also tallies the degraded outcomes of the robustness
-    layer: per-trial budget exhaustion, invariant violations and crashed
-    trials, so one bad trial is a counted data point rather than a lost
-    sweep. *)
+    paper, a batch also tallies the self-healing runtime's outcomes:
+    per-trial budget exhaustion, invariant violations, crashed trials,
+    retried and quarantined trials, and sentinel degradations — so one
+    bad trial is a counted data point rather than a lost sweep. *)
 
-type outcome =
+type verdict =
   | Finished of { reason : Engine.stop_reason; steps : int }
       (** the trial ran to a stop reason (including degraded ones) *)
   | Crashed of { exn : string; backtrace : string }
       (** the trial raised; captured, never propagated *)
 
+(** How the trial ended, together with what the self-healing runtime had
+    to do to get it there. *)
+type outcome = {
+  verdict : verdict;  (** the last attempt's result *)
+  attempts : int;  (** total attempts made; [1] = no retry *)
+  degraded : bool;
+      (** the sentinel detected a fast-path divergence and the trial
+          finished on the reference engine *)
+  quarantined : bool;
+      (** the trial failed every retry; its verdict is the last failure
+          and the trial is logged to the incident log *)
+}
+
+val of_verdict :
+  ?attempts:int -> ?degraded:bool -> ?quarantined:bool -> verdict -> outcome
+(** Defaults: one attempt, not degraded, not quarantined.
+    @raise Invalid_argument if [attempts < 1]. *)
+
 val outcome_of_result : Engine.result -> outcome
+(** First-attempt outcome of a completed run; [degraded] is read off the
+    result's sentinel report. *)
 
 type summary = {
   runs : int;
@@ -24,6 +44,9 @@ type summary = {
   timed_out : int;  (** runs stopped by the wall-clock budget *)
   faulted : int;  (** runs stopped by an invariant violation *)
   errors : int;  (** trials that raised an exception *)
+  retried : int;  (** trials that needed more than one attempt *)
+  quarantined : int;  (** trials that failed every retry *)
+  degraded : int;  (** trials finished on the reference engine *)
   avg_steps : float;  (** over converged runs; [nan] if none *)
   max_steps : int;  (** over converged runs; 0 if none *)
   min_steps : int;  (** over converged runs; 0 if none *)

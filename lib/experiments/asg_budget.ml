@@ -7,6 +7,9 @@ type params = {
   seed : int;
   domains : int;
   checkpoint : Checkpoint.t option;
+  sentinel : Sentinel.level;
+  max_retries : int;
+  incidents : Incident_log.t option;
 }
 
 let paper_policies =
@@ -22,18 +25,22 @@ let default dist =
     seed = 2013;
     domains = 1;
     checkpoint = None;
+    sentinel = Sentinel.Off;
+    max_retries = 0;
+    incidents = None;
   }
 
 let point p label k policy n =
   let model = Model.make Model.Asg p.dist n in
   let spec =
-    Runner.spec ~policy model (fun rng -> Gen.random_budget_network rng n k)
+    Runner.spec ~policy ~sentinel:p.sentinel ~max_retries:p.max_retries model
+      (fun rng -> Gen.random_budget_network rng n k)
   in
   let key = Printf.sprintf "%s|n=%d" label n in
   { Series.n;
     summary =
       Runner.run ~domains:p.domains ~seed:p.seed ?checkpoint:p.checkpoint
-        ~key ~trials:p.trials spec }
+        ~key ?incidents:p.incidents ~trials:p.trials spec }
 
 let sweep p =
   List.concat_map

@@ -21,6 +21,10 @@ type params = {
   checkpoint : Checkpoint.t option;
       (** record completed trials for crash-safe resume; keys are
           ["<label>|n=<n>"] *)
+  sentinel : Sentinel.level;  (** shadow verification of the fast path *)
+  max_retries : int;  (** retry budget for crashed/timed-out/faulted trials *)
+  incidents : Incident_log.t option;
+      (** structured log of divergences, degradations and quarantines *)
 }
 
 val default : Model.dist_mode -> params

@@ -1,16 +1,51 @@
-let magic = "# ncg-checkpoint v1"
+let magic_v2 = "# ncg-checkpoint v2"
+let magic_v1 = "# ncg-checkpoint v1"
+
+type corruption = { line : int; reason : string; tail : bool }
+
+type load_report = {
+  records : int;
+  duplicates : int;
+  corrupted : corruption list;
+  migrated_from_v1 : bool;
+}
+
+let empty_report =
+  { records = 0; duplicates = 0; corrupted = []; migrated_from_v1 = false }
 
 type t = {
   path : string;
   oc : out_channel;
   loaded : (string * int, Stats.outcome) Hashtbl.t;
+  report : load_report;
 }
 
 let path t = t.path
+let load_report t = t.report
+let loaded t = Hashtbl.length t.loaded
+
+(* IEEE CRC32 (reflected polynomial 0xedb88320), table-driven; plain OCaml
+   integer arithmetic — the value always fits in 32 bits. *)
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xedb88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let c = ref 0xffffffff in
+  String.iter
+    (fun ch -> c := table.((!c lxor Char.code ch) land 0xff) lxor (!c lsr 8))
+    s;
+  !c lxor 0xffffffff
 
 (* One field per tab; [String.escaped] keeps free text (violation details,
    exception messages) on one line and tab-free. *)
-let encode_outcome = function
+let encode_verdict = function
   | Stats.Finished { reason; steps } -> (
       match reason with
       | Engine.Converged -> Printf.sprintf "ok\t%d" steps
@@ -28,54 +63,150 @@ let encode_outcome = function
       Printf.sprintf "error\t%s\t%s" (String.escaped exn)
         (String.escaped backtrace)
 
-let decode_outcome fields =
+let encode_outcome (o : Stats.outcome) =
+  Printf.sprintf "%s\t%d\t%d\t%d"
+    (encode_verdict o.Stats.verdict)
+    o.Stats.attempts
+    (if o.Stats.degraded then 1 else 0)
+    (if o.Stats.quarantined then 1 else 0)
+
+(* Every verdict tag has a fixed arity, so the decoder can consume exactly
+   its fields and hand back the rest (the v2 retry metadata; empty in v1
+   records). *)
+let decode_verdict fields =
   let int s = int_of_string_opt s in
   match fields with
-  | [ "ok"; steps ] ->
+  | "ok" :: steps :: rest ->
       Option.map
-        (fun steps -> Stats.Finished { reason = Engine.Converged; steps })
+        (fun steps ->
+          (Stats.Finished { reason = Engine.Converged; steps }, rest))
         (int steps)
-  | [ "cycle"; steps; first_visit; period ] -> (
+  | "cycle" :: steps :: first_visit :: period :: rest -> (
       match (int steps, int first_visit, int period) with
       | Some steps, Some first_visit, Some period ->
           Some
-            (Stats.Finished
-               { reason = Engine.Cycle_detected { first_visit; period };
-                 steps })
+            ( Stats.Finished
+                { reason = Engine.Cycle_detected { first_visit; period };
+                  steps },
+              rest )
       | _ -> None)
-  | [ "limit"; steps ] ->
+  | "limit" :: steps :: rest ->
       Option.map
-        (fun steps -> Stats.Finished { reason = Engine.Step_limit; steps })
+        (fun steps ->
+          (Stats.Finished { reason = Engine.Step_limit; steps }, rest))
         (int steps)
-  | [ "time"; steps ] ->
+  | "time" :: steps :: rest ->
       Option.map
-        (fun steps -> Stats.Finished { reason = Engine.Time_limit; steps })
+        (fun steps ->
+          (Stats.Finished { reason = Engine.Time_limit; steps }, rest))
         (int steps)
-  | [ "fault"; steps; kind; vstep; subject; detail ] -> (
+  | "fault" :: steps :: kind :: vstep :: subject :: detail :: rest -> (
       match (int steps, Audit.kind_of_label kind, int vstep, int subject)
       with
       | Some steps, Some kind, Some vstep, Some subject ->
           let detail = try Scanf.unescaped detail with _ -> detail in
           Some
-            (Stats.Finished
-               {
-                 reason =
-                   Engine.Invariant_violation
-                     {
-                       Audit.kind;
-                       step = vstep;
-                       subject = (if subject < 0 then None else Some subject);
-                       detail;
-                     };
-                 steps;
-               })
+            ( Stats.Finished
+                {
+                  reason =
+                    Engine.Invariant_violation
+                      {
+                        Audit.kind;
+                        step = vstep;
+                        subject = (if subject < 0 then None else Some subject);
+                        detail;
+                      };
+                  steps;
+                },
+              rest )
       | _ -> None)
-  | [ "error"; exn; backtrace ] ->
+  | "error" :: exn :: backtrace :: rest ->
       let unescape s = try Scanf.unescaped s with _ -> s in
       Some
-        (Stats.Crashed
-           { exn = unescape exn; backtrace = unescape backtrace })
+        ( Stats.Crashed
+            { exn = unescape exn; backtrace = unescape backtrace },
+          rest )
   | _ -> None
+
+let flag = function "0" -> Some false | "1" -> Some true | _ -> None
+
+let decode_outcome fields =
+  match decode_verdict fields with
+  | None -> None
+  | Some (verdict, []) ->
+      (* v1 record: no retry metadata *)
+      Some (Stats.of_verdict verdict)
+  | Some (verdict, [ attempts; degraded; quarantined ]) -> (
+      match (int_of_string_opt attempts, flag degraded, flag quarantined)
+      with
+      | Some attempts, Some degraded, Some quarantined when attempts >= 1 ->
+          Some (Stats.of_verdict ~attempts ~degraded ~quarantined verdict)
+      | _ -> None)
+  | Some _ -> None
+
+(* A trial record's payload: [key TAB trial TAB outcome...]. *)
+let decode_payload payload =
+  match String.split_on_char '\t' payload with
+  | key :: trial :: rest -> (
+      match (int_of_string_opt trial, decode_outcome rest) with
+      | Some trial, Some outcome -> Some (key, trial, outcome)
+      | _ -> None)
+  | _ -> None
+
+let encode_record ~key ~trial outcome =
+  Printf.sprintf "%s\t%d\t%s" key trial (encode_outcome outcome)
+
+let frame payload =
+  Printf.sprintf "%08x\t%d\t%s" (crc32 payload) (String.length payload)
+    payload
+
+(* Unframe a v2 line: check the declared length first (truncation), then
+   the CRC (bit flips), and only then hand the payload on. *)
+let unframe line =
+  match String.index_opt line '\t' with
+  | None -> Error "missing CRC field"
+  | Some i -> (
+      match String.index_from_opt line (i + 1) '\t' with
+      | None -> Error "missing length field"
+      | Some j -> (
+          let crc_s = String.sub line 0 i in
+          let len_s = String.sub line (i + 1) (j - i - 1) in
+          let payload =
+            String.sub line (j + 1) (String.length line - j - 1)
+          in
+          match
+            ( (if String.length crc_s = 8 then
+                 int_of_string_opt ("0x" ^ crc_s)
+               else None),
+              int_of_string_opt len_s )
+          with
+          | Some crc, Some len ->
+              if String.length payload <> len then
+                Error
+                  (Printf.sprintf
+                     "length mismatch (declared %d bytes, found %d)" len
+                     (String.length payload))
+              else if crc32 payload <> crc then
+                Error
+                  (Printf.sprintf "CRC mismatch (declared %08x, computed %08x)"
+                     crc (crc32 payload))
+              else Ok payload
+          | _ -> Error "unparseable CRC/length header"))
+
+type version = V1 | V2
+
+let parse_header path fingerprint header =
+  match String.split_on_char '\t' header with
+  | [ m; fp ] when m = magic_v2 || m = magic_v1 ->
+      if fp <> String.escaped fingerprint then
+        failwith
+          (Printf.sprintf
+             "checkpoint %s belongs to a different sweep (found %S, expected \
+              %S)"
+             path fp (String.escaped fingerprint))
+      else if m = magic_v2 then V2
+      else V1
+  | _ -> failwith (Printf.sprintf "%s is not an ncg checkpoint file" path)
 
 let load_existing path fingerprint =
   let loaded = Hashtbl.create 256 in
@@ -83,56 +214,97 @@ let load_existing path fingerprint =
   Fun.protect
     ~finally:(fun () -> close_in_noerr ic)
     (fun () ->
-      (match input_line ic with
-      | header -> (
-          match String.split_on_char '\t' header with
-          | [ m; fp ] when m = magic ->
-              if fp <> String.escaped fingerprint then
-                failwith
-                  (Printf.sprintf
-                     "checkpoint %s belongs to a different sweep (found %S, \
-                      expected %S)"
-                     path fp (String.escaped fingerprint))
-          | _ ->
-              failwith
-                (Printf.sprintf "%s is not an ncg checkpoint file" path))
-      | exception End_of_file ->
-          failwith (Printf.sprintf "%s is empty" path));
+      let version =
+        match input_line ic with
+        | header -> parse_header path fingerprint header
+        | exception End_of_file ->
+            failwith (Printf.sprintf "%s is empty" path)
+      in
+      let records = ref 0 and duplicates = ref 0 in
+      let corrupted = ref [] in
+      (* line numbers are 1-based and the header is line 1 *)
+      let lineno = ref 1 in
+      let bad reason = corrupted := (!lineno, reason) :: !corrupted in
+      let store (key, trial, outcome) =
+        incr records;
+        if Hashtbl.mem loaded (key, trial) then incr duplicates;
+        Hashtbl.replace loaded (key, trial) outcome
+      in
       (try
          while true do
            let line = input_line ic in
-           match String.split_on_char '\t' line with
-           | key :: trial :: rest -> (
-               match (int_of_string_opt trial, decode_outcome rest) with
-               | Some trial, Some outcome ->
-                   Hashtbl.replace loaded (key, trial) outcome
-               | _ -> (* torn or foreign line: that trial reruns *) ())
-           | _ -> ()
+           incr lineno;
+           match version with
+           | V2 -> (
+               match unframe line with
+               | Error reason -> bad reason
+               | Ok payload -> (
+                   match decode_payload payload with
+                   | Some r -> store r
+                   | None -> bad "undecodable record payload"))
+           | V1 -> (
+               (* v1 had no framing; a malformed line used to be skipped
+                  silently — now it is counted and surfaced. *)
+               match decode_payload line with
+               | Some r -> store r
+               | None -> bad "undecodable v1 record")
          done
        with End_of_file -> ());
-      loaded)
-
-let open_ ?(resume = false) ~fingerprint path =
-  let existing = resume && Sys.file_exists path in
-  let loaded =
-    if existing then load_existing path fingerprint else Hashtbl.create 16
-  in
-  let oc =
-    if existing then
-      open_out_gen [ Open_append; Open_creat ] 0o644 path
-    else begin
-      let oc = open_out path in
-      Printf.fprintf oc "%s\t%s\n" magic (String.escaped fingerprint);
-      flush oc;
-      oc
-    end
-  in
-  { path; oc; loaded }
-
-let close t = close_out_noerr t.oc
+      let last = !lineno in
+      let corrupted =
+        List.rev_map
+          (fun (line, reason) -> { line; reason; tail = line = last })
+          !corrupted
+      in
+      ( loaded,
+        {
+          records = !records;
+          duplicates = !duplicates;
+          corrupted;
+          migrated_from_v1 = version = V1;
+        } ))
 
 let sanitize_key key =
   String.map (function '\t' | '\n' | '\r' -> ' ' | c -> c) key
+
+(* Write a complete v2 file (header + the given records) to a temp file and
+   rename it over [path]: whoever observes [path] sees either the old file
+   or the complete new one, never a torn header. *)
+let write_atomically path fingerprint records =
+  let tmp = path ^ ".tmp" in
+  let oc = open_out tmp in
+  (try
+     Printf.fprintf oc "%s\t%s\n" magic_v2 (String.escaped fingerprint);
+     List.iter
+       (fun ((key, trial), outcome) ->
+         output_string oc (frame (encode_record ~key ~trial outcome));
+         output_char oc '\n')
+       records;
+     flush oc;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp path
+
+let open_ ?(resume = false) ~fingerprint path =
+  let existing = resume && Sys.file_exists path in
+  let loaded, report =
+    if existing then load_existing path fingerprint
+    else (Hashtbl.create 16, empty_report)
+  in
+  if (not existing) || report.migrated_from_v1 then
+    (* fresh start, or a v1 file being upgraded: (re)write the whole file
+       atomically before appending to it *)
+    write_atomically path fingerprint
+      (if existing then
+         Hashtbl.fold (fun k o acc -> (k, o) :: acc) loaded []
+       else []);
+  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
+  { path; oc; loaded; report }
+
+let close t = close_out_noerr t.oc
 
 let completed t ~key =
   let key = sanitize_key key in
@@ -142,6 +314,24 @@ let completed t ~key =
     t.loaded []
 
 let record t ~key ~trial outcome =
-  Printf.fprintf t.oc "%s\t%d\t%s\n" (sanitize_key key) trial
-    (encode_outcome outcome);
+  output_string t.oc
+    (frame (encode_record ~key:(sanitize_key key) ~trial outcome));
+  output_char t.oc '\n';
   flush t.oc
+
+let pp_load_report fmt r =
+  Format.fprintf fmt "%d record%s loaded" r.records
+    (if r.records = 1 then "" else "s");
+  if r.duplicates > 0 then
+    Format.fprintf fmt " (%d superseded by later duplicates)" r.duplicates;
+  if r.migrated_from_v1 then Format.fprintf fmt ", migrated from format v1";
+  match r.corrupted with
+  | [] -> ()
+  | cs ->
+      Format.fprintf fmt "; %d corrupt line%s:" (List.length cs)
+        (if List.length cs = 1 then "" else "s");
+      List.iter
+        (fun c ->
+          Format.fprintf fmt "@\n  line %d: %s%s" c.line c.reason
+            (if c.tail then " (torn tail — expected after a crash)" else ""))
+        cs

@@ -1,4 +1,4 @@
-(** Crash-safe checkpointing for long trial sweeps.
+(** Crash-safe checkpointing for long trial sweeps (format v2).
 
     A checkpoint file records every completed trial of a sweep as one
     appended, flushed text line, so an interrupted 10k-trial figure
@@ -7,26 +7,71 @@
     trial index ({!Runner}), a resumed sweep produces bit-identical
     statistics to an uninterrupted one.
 
-    Format (tab-separated, one record per line):
+    Format v2 (tab-separated, one record per line):
     {v
-    # ncg-checkpoint v1 <TAB> <fingerprint>
-    <key> <TAB> <trial> <TAB> <outcome tag> <TAB> <outcome fields...>
+    # ncg-checkpoint v2 <TAB> <fingerprint>
+    <crc32 hex> <TAB> <length> <TAB> <payload>
     v}
-    where [key] names the sweep point (e.g. ["k=2 max cost|n=40"]) and the
-    outcome tags are [ok], [cycle], [limit], [time], [fault] and [error] —
-    the full {!Stats.outcome} taxonomy.  A torn final line (the crash case)
-    is ignored on load; that trial simply reruns. *)
+    where the payload is
+    {v
+    <key> <TAB> <trial> <TAB> <tag> <TAB> <verdict fields...>
+           <TAB> <attempts> <TAB> <degraded> <TAB> <quarantined>
+    v}
+    with verdict tags [ok], [cycle], [limit], [time], [fault] and [error]
+    — the {!Stats.verdict} taxonomy — plus the retry metadata of
+    {!Stats.outcome}.  The CRC32 (IEEE, over the payload bytes) and the
+    explicit payload length make every corruption detectable, not just a
+    torn final line: a bit flip fails the CRC, a truncation fails the
+    length, and either is {e reported} on load rather than silently
+    skipped.  The header is created via temp-file + rename, so a crash
+    during creation never leaves a half-written header behind.
+
+    Loading still recovers the maximal valid set: duplicate records are
+    legal (the last one wins — the append-after-resume case), corrupt
+    records are counted in the {!load_report} and their trials simply
+    rerun.  Files written by format v1 (no CRC) are read transparently
+    and atomically migrated to v2 on resume; malformed v1 lines — silently
+    dropped by the v1 loader — are now counted and surfaced the same
+    way. *)
 
 type t
 
+(** One unreadable line found on load. *)
+type corruption = {
+  line : int;  (** 1-based line number in the file (line 1 is the header) *)
+  reason : string;  (** what check failed, human-readable *)
+  tail : bool;
+      (** the line was the file's last — the expected artifact of a crash
+          mid-append, as opposed to mid-file damage *)
+}
+
+type load_report = {
+  records : int;  (** valid records loaded *)
+  duplicates : int;  (** valid records that replaced an earlier one *)
+  corrupted : corruption list;  (** in file order *)
+  migrated_from_v1 : bool;
+}
+
 val open_ : ?resume:bool -> fingerprint:string -> string -> t
 (** [open_ ~fingerprint path] starts a fresh checkpoint, truncating any
-    existing file.  With [~resume:true] an existing file's completed
-    records are loaded first and subsequent records are appended.
+    existing file; the header reaches [path] atomically (temp-file +
+    rename).  With [~resume:true] an existing file's records are loaded
+    first — see {!load_report} for what was recovered — and subsequent
+    records are appended; a v1 file is migrated to v2 in place
+    (atomically) before appending.
     @raise Failure on resume if the file belongs to a different sweep
     configuration (fingerprint mismatch) or is not a checkpoint file. *)
 
 val close : t -> unit
+
+val load_report : t -> load_report
+(** What loading found; all-zero for a fresh (non-resumed) checkpoint.
+    Callers SHOULD surface [corrupted] to the user — a non-tail corruption
+    means the storage, not the process, damaged the file. *)
+
+val loaded : t -> int
+(** Number of trial records available from the load (= [records] minus
+    [duplicates] of {!load_report}). *)
 
 val completed : t -> key:string -> (int * Stats.outcome) list
 (** Loaded outcomes for one sweep point, by trial index; empty unless the
@@ -37,3 +82,10 @@ val record : t -> key:string -> trial:int -> Stats.outcome -> unit
     interruption immediately after. *)
 
 val path : t -> string
+
+val pp_load_report : Format.formatter -> load_report -> unit
+(** One human-readable line per corruption, plus the totals. *)
+
+val crc32 : string -> int
+(** The IEEE CRC32 used for record checksums — exposed so corruption
+    tests can craft valid and near-valid records by hand. *)

@@ -17,6 +17,9 @@ type params = {
   seed : int;
   domains : int;
   checkpoint : Checkpoint.t option;
+  sentinel : Sentinel.level;
+  max_retries : int;
+  incidents : Incident_log.t option;
 }
 
 let default dist =
@@ -30,20 +33,24 @@ let default dist =
     seed = 2013;
     domains = 1;
     checkpoint = None;
+    sentinel = Sentinel.Off;
+    max_retries = 0;
+    incidents = None;
   }
 
 let point p label m_factor alpha policy n =
   let m = min (m_factor * n) (n * (n - 1) / 2) in
   let model = Model.make ~alpha:(alpha_of alpha n) Model.Gbg p.dist n in
   let spec =
-    Runner.spec ~policy ~tie_break:Engine.Prefer_deletion model (fun rng ->
+    Runner.spec ~policy ~tie_break:Engine.Prefer_deletion
+      ~sentinel:p.sentinel ~max_retries:p.max_retries model (fun rng ->
         Gen.random_m_edges rng n m)
   in
   let key = Printf.sprintf "%s|n=%d" label n in
   { Series.n;
     summary =
       Runner.run ~domains:p.domains ~seed:p.seed ?checkpoint:p.checkpoint
-        ~key ~trials:p.trials spec
+        ~key ?incidents:p.incidents ~trials:p.trials spec
   }
 
 let sweep p =

@@ -1,0 +1,102 @@
+type t = { path : string; oc : out_channel }
+
+type event =
+  | Quarantined of { key : string; trial : int; outcome : Stats.outcome }
+  | Degraded of { key : string; trial : int; outcome : Stats.outcome }
+  | Divergence of { key : string; trial : int; incident : Sentinel.incident }
+
+let open_ path =
+  { path; oc = open_out_gen [ Open_append; Open_creat ] 0o644 path }
+
+let close t = close_out_noerr t.oc
+
+let path t = t.path
+
+(* Minimal JSON string escaping: the two mandatory escapes plus control
+   characters, so every record stays on one line whatever the payload
+   (violation details, exception backtraces, canonical fingerprints). *)
+let json_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
+let verdict_fields = function
+  | Stats.Finished { reason; steps } ->
+      let tag =
+        match reason with
+        | Engine.Converged -> "converged"
+        | Engine.Cycle_detected _ -> "cycle"
+        | Engine.Step_limit -> "step_limit"
+        | Engine.Time_limit -> "time_limit"
+        | Engine.Invariant_violation _ -> "invariant_violation"
+      in
+      let detail =
+        match reason with
+        | Engine.Invariant_violation v ->
+            [ ("detail", json_string (Audit.violation_to_string v)) ]
+        | _ -> []
+      in
+      (("verdict", json_string tag) :: ("steps", string_of_int steps)
+      :: detail)
+  | Stats.Crashed { exn; backtrace } ->
+      [
+        ("verdict", json_string "crashed");
+        ("exn", json_string exn);
+        ("backtrace", json_string backtrace);
+      ]
+
+let obj fields =
+  "{"
+  ^ String.concat ","
+      (List.map (fun (k, v) -> Printf.sprintf "%s:%s" (json_string k) v) fields)
+  ^ "}"
+
+let json_of_event = function
+  | Quarantined { key; trial; outcome } ->
+      obj
+        (("event", json_string "quarantined")
+        :: ("key", json_string key)
+        :: ("trial", string_of_int trial)
+        :: ("attempts", string_of_int outcome.Stats.attempts)
+        :: verdict_fields outcome.Stats.verdict)
+  | Degraded { key; trial; outcome } ->
+      obj
+        (("event", json_string "degraded")
+        :: ("key", json_string key)
+        :: ("trial", string_of_int trial)
+        :: ("attempts", string_of_int outcome.Stats.attempts)
+        :: verdict_fields outcome.Stats.verdict)
+  | Divergence { key; trial; incident } ->
+      let phase =
+        match incident.Sentinel.phase with
+        | Sentinel.Selection _ -> "selection"
+        | Sentinel.Move_set _ -> "move_set"
+      in
+      obj
+        [
+          ("event", json_string "divergence");
+          ("key", json_string key);
+          ("trial", string_of_int trial);
+          ("step", string_of_int incident.Sentinel.step);
+          ("phase", json_string phase);
+          ("fingerprint", json_string incident.Sentinel.fingerprint);
+          ("detail", json_string (Sentinel.incident_to_string incident));
+        ]
+
+let record t event =
+  output_string t.oc (json_of_event event);
+  output_char t.oc '\n';
+  flush t.oc

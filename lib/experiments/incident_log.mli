@@ -1,0 +1,38 @@
+(** Structured incident log for long sweeps ([incidents.jsonl]).
+
+    The self-healing runtime never aborts a sweep for one bad trial; what
+    it cannot silently absorb it records here, one JSON object per line,
+    append-only and flushed per record so the log survives the very crash
+    it is describing.  Three event kinds:
+
+    - [quarantined] — a trial failed every retry; its last verdict and
+      attempt count are preserved for post-mortem (the sweep's statistics
+      count it under {!Stats.summary.quarantined});
+    - [degraded] — the shadow sentinel caught a fast-path divergence and
+      the trial finished on the reference engine;
+    - [divergence] — one sentinel incident in full detail (step, state
+      fingerprint, what differed), usually alongside a [degraded] event.
+
+    The format is deliberately line-oriented: a torn final line (the crash
+    case) leaves every earlier record intact, mirroring {!Checkpoint}. *)
+
+type t
+
+type event =
+  | Quarantined of { key : string; trial : int; outcome : Stats.outcome }
+  | Degraded of { key : string; trial : int; outcome : Stats.outcome }
+  | Divergence of { key : string; trial : int; incident : Sentinel.incident }
+
+val open_ : string -> t
+(** Opens (appending, creating if needed) the log at [path]. *)
+
+val close : t -> unit
+
+val path : t -> string
+
+val record : t -> event -> unit
+(** Appends one event as a single JSON line and flushes. *)
+
+val json_of_event : event -> string
+(** The exact line {!record} writes (without the newline) — exposed so
+    tests can assert the wire format. *)

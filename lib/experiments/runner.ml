@@ -6,43 +6,99 @@ type spec = {
   max_steps : int;
   detect_cycles : bool;
   audit : Audit.level;
+  sentinel : Sentinel.level;
   time_budget : float option;
+  max_retries : int;
 }
 
 let spec ?(policy = Policy.Max_cost) ?(tie_break = Engine.Uniform) ?max_steps
-    ?(detect_cycles = true) ?(audit = Audit.Off) ?time_budget model generate =
+    ?(detect_cycles = true) ?(audit = Audit.Off) ?(sentinel = Sentinel.Off)
+    ?time_budget ?(max_retries = 0) model generate =
+  if max_retries < 0 then invalid_arg "Runner.spec: max_retries < 0";
   let max_steps =
     match max_steps with
     | Some s -> s
     | None -> (50 * Model.n model) + 2000
   in
   { model; generate; policy; tie_break; max_steps; detect_cycles; audit;
-    time_budget }
+    sentinel; time_budget; max_retries }
 
-let run_trial t ~seed ~trial =
-  let rng = Random.State.make [| seed; trial; Model.n t.model |] in
+(* Attempt 0 keeps the historical derivation (so existing seeds reproduce
+   published numbers bit for bit); retries fold the attempt index in as a
+   fresh sub-seed. *)
+let attempt_rng t ~seed ~trial ~attempt =
+  if attempt = 0 then Random.State.make [| seed; trial; Model.n t.model |]
+  else Random.State.make [| seed; trial; Model.n t.model; attempt |]
+
+let backoff_budget budget ~attempt =
+  Option.map (fun b -> b *. (2. ** float_of_int attempt)) budget
+
+let run_attempt t ~seed ~trial ~attempt =
+  let rng = attempt_rng t ~seed ~trial ~attempt in
   let g = t.generate rng in
   let cfg =
     Engine.config ~policy:t.policy ~tie_break:t.tie_break
       ~max_steps:t.max_steps ~detect_cycles:t.detect_cycles
-      ~record_history:false ~audit:t.audit ?time_budget:t.time_budget t.model
+      ~record_history:false ~audit:t.audit ~sentinel:t.sentinel
+      ?time_budget:(backoff_budget t.time_budget ~attempt)
+      t.model
   in
   Engine.run ~rng cfg g
 
-let trial_outcome t ~seed trial =
-  Stats.outcome_of_result (run_trial t ~seed ~trial)
+let run_trial t ~seed ~trial = run_attempt t ~seed ~trial ~attempt:0
 
-let outcome_of_capture = function
-  | Ok outcome -> outcome
-  | Error (exn, backtrace) ->
-      Stats.Crashed
-        {
-          exn = Printexc.to_string exn;
-          backtrace = Printexc.raw_backtrace_to_string backtrace;
-        }
+(* A retry is only worth burning time on when the failure could be
+   transient or attempt-specific: a crash, a wall-clock timeout (the
+   budget backs off), or an invariant fault (a fresh sub-seed walks a
+   different trajectory).  Converged/cycle/step-limit are honest,
+   deterministic results. *)
+let retryable = function
+  | Stats.Crashed _ -> true
+  | Stats.Finished
+      { reason = Engine.Time_limit | Engine.Invariant_violation _; _ } ->
+      true
+  | Stats.Finished _ -> false
+
+let verdict_of_attempt t ~seed ~trial ~attempt =
+  match run_attempt t ~seed ~trial ~attempt with
+  | r ->
+      ( Stats.Finished { reason = r.Engine.reason; steps = r.Engine.steps },
+        r.Engine.sentinel )
+  | exception exn ->
+      let backtrace = Printexc.get_raw_backtrace () in
+      ( Stats.Crashed
+          {
+            exn = Printexc.to_string exn;
+            backtrace = Printexc.raw_backtrace_to_string backtrace;
+          },
+        Sentinel.clean_report )
+
+let trial_outcome t ~seed trial =
+  let rec go attempt divergences =
+    let verdict, sentinel = verdict_of_attempt t ~seed ~trial ~attempt in
+    let divergences = divergences @ sentinel.Sentinel.incidents in
+    if retryable verdict && attempt < t.max_retries then
+      go (attempt + 1) divergences
+    else
+      ( Stats.of_verdict ~attempts:(attempt + 1)
+          ~degraded:(divergences <> [])
+          ~quarantined:(t.max_retries > 0 && retryable verdict)
+          verdict,
+        divergences )
+  in
+  go 0 []
+
+(* Cooperative interruption: a signal handler flips the flag; sweeps honor
+   it at batch boundaries, after the completed batch has been recorded. *)
+let stop_flag = Atomic.make false
+let request_stop () = Atomic.set stop_flag true
+let stop_requested () = Atomic.get stop_flag
+let reset_stop () = Atomic.set stop_flag false
+
+exception Interrupted
 
 let run_outcomes ?(domains = 1) ?(seed = 2013) ?checkpoint ?(key = "")
-    ~trials t =
+    ?incidents ~trials t =
   let outcomes = Array.make trials None in
   (match checkpoint with
   | None -> ()
@@ -82,6 +138,7 @@ let run_outcomes ?(domains = 1) ?(seed = 2013) ?checkpoint ?(key = "")
   in
   List.iter
     (fun batch ->
+      if Atomic.get stop_flag then raise Interrupted;
       let captured =
         Ncg_parallel.Pool.map_result ~domains
           (fun trial -> trial_outcome t ~seed trial)
@@ -89,11 +146,39 @@ let run_outcomes ?(domains = 1) ?(seed = 2013) ?checkpoint ?(key = "")
       in
       List.iter2
         (fun trial capture ->
-          let outcome = outcome_of_capture capture in
+          let outcome, divergences =
+            match capture with
+            | Ok pair -> pair
+            | Error (exn, backtrace) ->
+                (* the retry loop captures trial exceptions itself; this
+                   only fires if the harness around it fails *)
+                ( Stats.of_verdict
+                    (Stats.Crashed
+                       {
+                         exn = Printexc.to_string exn;
+                         backtrace =
+                           Printexc.raw_backtrace_to_string backtrace;
+                       }),
+                  [] )
+          in
           outcomes.(trial) <- Some outcome;
-          match checkpoint with
+          (match checkpoint with
           | Some cp -> Checkpoint.record cp ~key ~trial outcome
-          | None -> ())
+          | None -> ());
+          match incidents with
+          | None -> ()
+          | Some log ->
+              List.iter
+                (fun incident ->
+                  Incident_log.record log
+                    (Incident_log.Divergence { key; trial; incident }))
+                divergences;
+              if outcome.Stats.degraded then
+                Incident_log.record log
+                  (Incident_log.Degraded { key; trial; outcome });
+              if outcome.Stats.quarantined then
+                Incident_log.record log
+                  (Incident_log.Quarantined { key; trial; outcome }))
         batch captured)
     batches;
   Array.to_list outcomes
@@ -101,6 +186,6 @@ let run_outcomes ?(domains = 1) ?(seed = 2013) ?checkpoint ?(key = "")
        | Some o -> o
        | None -> assert false (* every index is completed or pending *))
 
-let run ?domains ?seed ?checkpoint ?key ~trials t =
+let run ?domains ?seed ?checkpoint ?key ?incidents ~trials t =
   Stats.summarize_outcomes
-    (run_outcomes ?domains ?seed ?checkpoint ?key ~trials t)
+    (run_outcomes ?domains ?seed ?checkpoint ?key ?incidents ~trials t)

@@ -7,10 +7,15 @@
     batch is reproducible and independent of the number of domains — and,
     via {!Checkpoint}, of where an interrupted batch was resumed.
 
-    Robustness: a trial that raises becomes a counted {!Stats.Crashed}
-    outcome instead of aborting the batch; per-trial step and wall-clock
-    budgets degrade into [Step_limit]/[Time_limit] outcomes; the invariant
-    auditor can watch every trial. *)
+    Self-healing: a trial that raises becomes a counted {!Stats.verdict}
+    [Crashed] outcome instead of aborting the batch; per-trial step and
+    wall-clock budgets degrade into [Step_limit]/[Time_limit] outcomes; the
+    invariant auditor can watch every trial and the shadow {!Sentinel} can
+    verify the fast path at run time.  With [max_retries > 0], crashed,
+    timed-out and faulted trials are retried on a fresh sub-seed with an
+    exponentially backed-off wall-clock budget; a trial that fails every
+    attempt is {e quarantined} — its last failure stays in the statistics
+    and in the {!Incident_log}, and the sweep carries on. *)
 
 type spec = {
   model : Model.t;
@@ -20,7 +25,12 @@ type spec = {
   max_steps : int;  (** per-trial step budget *)
   detect_cycles : bool;
   audit : Audit.level;
-  time_budget : float option;  (** per-trial wall-clock budget, seconds *)
+  sentinel : Sentinel.level;  (** shadow verification of the fast path *)
+  time_budget : float option;
+      (** per-trial wall-clock budget, seconds (first attempt; retries
+          double it each time) *)
+  max_retries : int;  (** extra attempts for crashed/timed-out/faulted
+                          trials; [0] disables retrying entirely *)
 }
 
 val spec :
@@ -29,33 +39,69 @@ val spec :
   ?max_steps:int ->
   ?detect_cycles:bool ->
   ?audit:Audit.level ->
+  ?sentinel:Sentinel.level ->
   ?time_budget:float ->
+  ?max_retries:int ->
   Model.t ->
   (Random.State.t -> Graph.t) ->
   spec
 (** Defaults: max-cost policy, uniform ties, [50 * n + 2000] steps, cycle
     detection on (the paper watched for cycles in every run), audit off,
-    no time budget. *)
+    sentinel off, no time budget, no retries.
+    @raise Invalid_argument if [max_retries < 0]. *)
 
 val run_trial : spec -> seed:int -> trial:int -> Engine.result
+(** First attempt of one trial — the historical RNG derivation
+    [(seed, trial, n)], so published numbers reproduce bit for bit. *)
+
+val run_attempt :
+  spec -> seed:int -> trial:int -> attempt:int -> Engine.result
+(** [attempt = 0] is {!run_trial}; retries ([attempt > 0]) fold the
+    attempt index into the RNG seed and run under
+    [backoff_budget time_budget ~attempt]. *)
+
+val backoff_budget : float option -> attempt:int -> float option
+(** Exponential backoff of the per-trial wall-clock budget:
+    [Some (b *. 2. ** attempt)] — attempt 0 gets [b], attempt 1 gets
+    [2b], attempt 2 gets [4b], … [None] stays [None]. *)
+
+val request_stop : unit -> unit
+(** Cooperative interruption (safe to call from a signal handler): sweeps
+    honor the request at the next batch boundary — after the in-flight
+    batch has been recorded to the checkpoint — by raising
+    {!Interrupted}. *)
+
+val stop_requested : unit -> bool
+
+val reset_stop : unit -> unit
+
+exception Interrupted
+(** Raised by {!run_outcomes}/{!run} at a batch boundary after
+    {!request_stop}; everything completed so far is already in the
+    checkpoint, so a [--resume] restart loses nothing. *)
 
 val run_outcomes :
   ?domains:int ->
   ?seed:int ->
   ?checkpoint:Checkpoint.t ->
   ?key:string ->
+  ?incidents:Incident_log.t ->
   trials:int ->
   spec ->
   Stats.outcome list
 (** All trial outcomes in trial order.  With [checkpoint], already-recorded
     trials (under [key], default [""]) are taken from the checkpoint and
-    each freshly completed batch is recorded to it. *)
+    each freshly completed batch is recorded to it.  With [incidents],
+    sentinel divergences, degraded trials and quarantined trials are
+    appended to the incident log as they are observed.
+    @raise Interrupted at a batch boundary after {!request_stop}. *)
 
 val run :
   ?domains:int ->
   ?seed:int ->
   ?checkpoint:Checkpoint.t ->
   ?key:string ->
+  ?incidents:Incident_log.t ->
   trials:int ->
   spec ->
   Stats.summary

@@ -21,6 +21,9 @@ type params = {
   seed : int;
   domains : int;
   checkpoint : Checkpoint.t option;
+  sentinel : Sentinel.level;
+  max_retries : int;
+  incidents : Incident_log.t option;
 }
 
 let default dist =
@@ -36,6 +39,9 @@ let default dist =
     seed = 2013;
     domains = 1;
     checkpoint = None;
+    sentinel = Sentinel.Off;
+    max_retries = 0;
+    incidents = None;
   }
 
 let point p label setting alpha policy n =
@@ -43,14 +49,15 @@ let point p label setting alpha policy n =
     Model.make ~alpha:(Gbg_sweep.alpha_of alpha n) Model.Gbg p.dist n
   in
   let spec =
-    Runner.spec ~policy ~tie_break:Engine.Prefer_deletion model (fun rng ->
+    Runner.spec ~policy ~tie_break:Engine.Prefer_deletion
+      ~sentinel:p.sentinel ~max_retries:p.max_retries model (fun rng ->
         generate setting rng n)
   in
   let key = Printf.sprintf "%s|n=%d" label n in
   { Series.n;
     summary =
       Runner.run ~domains:p.domains ~seed:p.seed ?checkpoint:p.checkpoint
-        ~key ~trials:p.trials spec
+        ~key ?incidents:p.incidents ~trials:p.trials spec
   }
 
 let sweep p =

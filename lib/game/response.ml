@@ -565,6 +565,34 @@ module Fast = struct
       let s = make_scan ctx (Move.agent move) in
       try_candidate s move ~threshold:(improve_threshold ctx s.before)
 
+  (* Fault-injection hook for the shadow sentinel's own tests: when armed,
+     the [after]-th subsequent [best_moves] call returns a deliberately
+     corrupted list (a hidden tie, or a duplicated singleton) and the hook
+     disarms itself.  Never armed outside the chaos/sentinel suites. *)
+  let chaos_countdown = ref None
+
+  let chaos_corrupt_best_moves ~after =
+    if after < 0 then invalid_arg "Response.Fast.chaos_corrupt_best_moves";
+    chaos_countdown := Some after
+
+  let chaos_reset () = chaos_countdown := None
+
+  let chaos_maybe_corrupt result =
+    match !chaos_countdown with
+    | None -> result
+    | Some k when k > 0 ->
+        chaos_countdown := Some (k - 1);
+        result
+    | Some _ -> (
+        chaos_countdown := None;
+        match result with
+        | [] -> []
+        | [ e ] -> [ e; e ]
+        | moves ->
+            (* hide the final tie — the classic fast-path bug class *)
+            let n = List.length moves in
+            List.filteri (fun i _ -> i < n - 1) moves)
+
   let best_moves ?prior ctx u =
     let s = make_scan ctx u in
     let improve = improve_threshold ctx s.before in
@@ -596,5 +624,5 @@ module Fast = struct
             | _ -> best := [ e ]);
             threshold := Some c)
       (List.of_seq (candidates ctx.model ctx.g u));
-    List.rev !best
+    chaos_maybe_corrupt (List.rev !best)
 end

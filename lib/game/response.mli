@@ -116,4 +116,18 @@ module Fast : sig
   val revalidate : ctx -> Move.t -> evaluated option
   (** [Some e] iff the move is currently admissible, feasible and strictly
       improving for its agent — the one-evaluation witness check. *)
+
+  (** {2 Fault-injection hooks (tests only)}
+
+      The shadow sentinel (see {!Ncg_core.Sentinel}) claims to catch a
+      diverging fast path at run time; these hooks let the chaos suites
+      break the fast path on purpose to prove it. *)
+
+  val chaos_corrupt_best_moves : after:int -> unit
+  (** Arm the hook: the [after]-th subsequent {!best_moves} result (0 =
+      the very next call) is corrupted — a tie is hidden, or a singleton
+      duplicated — and the hook disarms itself. *)
+
+  val chaos_reset : unit -> unit
+  (** Disarm without firing. *)
 end

@@ -127,24 +127,31 @@ let test_checkpoint_resume_parity () =
 let test_checkpoint_outcome_roundtrip () =
   with_temp_checkpoint (fun path ->
       let outcomes =
-        [ Stats.Finished { reason = Engine.Converged; steps = 12 };
-          Stats.Finished
-            { reason =
-                Engine.Cycle_detected { first_visit = 3; period = 4 };
-              steps = 7 };
-          Stats.Finished { reason = Engine.Step_limit; steps = 600 };
-          Stats.Finished { reason = Engine.Time_limit; steps = 41 };
-          Stats.Finished
-            { reason =
-                Engine.Invariant_violation
-                  {
-                    Ncg_core.Audit.kind = Ncg_core.Audit.Self_loop;
-                    step = 5;
-                    subject = Some 2;
-                    detail = "tab\there and\nnewline";
-                  };
-              steps = 5 };
-          Stats.Crashed { exn = "Failure(\"boom\")"; backtrace = "frame 0" }
+        [ Stats.of_verdict
+            (Stats.Finished { reason = Engine.Converged; steps = 12 });
+          Stats.of_verdict ~attempts:2
+            (Stats.Finished
+               { reason =
+                   Engine.Cycle_detected { first_visit = 3; period = 4 };
+                 steps = 7 });
+          Stats.of_verdict ~degraded:true
+            (Stats.Finished { reason = Engine.Step_limit; steps = 600 });
+          Stats.of_verdict
+            (Stats.Finished { reason = Engine.Time_limit; steps = 41 });
+          Stats.of_verdict
+            (Stats.Finished
+               { reason =
+                   Engine.Invariant_violation
+                     {
+                       Ncg_core.Audit.kind = Ncg_core.Audit.Self_loop;
+                       step = 5;
+                       subject = Some 2;
+                       detail = "tab\there and\nnewline";
+                     };
+                 steps = 5 });
+          Stats.of_verdict ~attempts:3 ~quarantined:true
+            (Stats.Crashed
+               { exn = "Failure(\"boom\")"; backtrace = "frame 0" })
         ]
       in
       let cp = Checkpoint.open_ ~fingerprint:"rt" path in
@@ -164,7 +171,8 @@ let test_checkpoint_fingerprint_mismatch () =
   with_temp_checkpoint (fun path ->
       let cp = Checkpoint.open_ ~fingerprint:"sweep A" path in
       Checkpoint.record cp ~key:"k" ~trial:0
-        (Stats.Finished { reason = Engine.Converged; steps = 1 });
+        (Stats.of_verdict
+           (Stats.Finished { reason = Engine.Converged; steps = 1 }));
       Checkpoint.close cp;
       match Checkpoint.open_ ~resume:true ~fingerprint:"sweep B" path with
       | _ -> Alcotest.fail "mismatched fingerprint must be refused"
@@ -174,9 +182,11 @@ let test_checkpoint_torn_line_ignored () =
   with_temp_checkpoint (fun path ->
       let cp = Checkpoint.open_ ~fingerprint:"torn" path in
       Checkpoint.record cp ~key:"k" ~trial:0
-        (Stats.Finished { reason = Engine.Converged; steps = 10 });
+        (Stats.of_verdict
+           (Stats.Finished { reason = Engine.Converged; steps = 10 }));
       Checkpoint.record cp ~key:"k" ~trial:1
-        (Stats.Finished { reason = Engine.Converged; steps = 20 });
+        (Stats.of_verdict
+           (Stats.Finished { reason = Engine.Converged; steps = 20 }));
       Checkpoint.close cp;
       (* simulate a crash mid-write: truncate the last record *)
       let contents =
@@ -190,8 +200,149 @@ let test_checkpoint_torn_line_ignored () =
       close_out oc;
       let cp = Checkpoint.open_ ~resume:true ~fingerprint:"torn" path in
       let loaded = Checkpoint.completed cp ~key:"k" in
+      let report = Checkpoint.load_report cp in
       Checkpoint.close cp;
-      check_int "torn record dropped, intact one kept" 1 (List.length loaded))
+      check_int "torn record dropped, intact one kept" 1 (List.length loaded);
+      check_int "the torn line is reported, not silent" 1
+        (List.length report.Checkpoint.corrupted);
+      check "reported as the tail" true
+        (match report.Checkpoint.corrupted with
+        | [ c ] -> c.Checkpoint.tail
+        | _ -> false))
+
+(* Regression for the v1 loader's silent data loss: malformed lines were
+   skipped without a trace.  The v2 loader reading a v1 file must load
+   every valid record AND surface each malformed line. *)
+let test_checkpoint_v1_malformed_lines_surfaced () =
+  with_temp_checkpoint (fun path ->
+      let oc = open_out path in
+      output_string oc
+        (String.concat "\n"
+           [
+             "# ncg-checkpoint v1\tv1-regression";
+             "k\t0\tok\t10";
+             "k\t1\tok\tnot-an-int";  (* malformed steps *)
+             "k\t2\tbogus-tag\t5";  (* unknown tag *)
+             "k\t3\tok\t30";
+             "";
+           ]);
+      close_out oc;
+      let cp = Checkpoint.open_ ~resume:true ~fingerprint:"v1-regression" path in
+      let loaded = Checkpoint.completed cp ~key:"k" in
+      let report = Checkpoint.load_report cp in
+      Checkpoint.close cp;
+      check_int "both valid records loaded" 2 (List.length loaded);
+      check_int "both malformed lines counted" 2
+        (List.length report.Checkpoint.corrupted);
+      check "lines 3 and 4 identified" true
+        (List.map (fun c -> c.Checkpoint.line) report.Checkpoint.corrupted
+        = [ 3; 4 ]);
+      check "migration to v2 reported" true report.Checkpoint.migrated_from_v1)
+
+(* ------------------------------------------------------------------ *)
+(* Retry, backoff, quarantine                                          *)
+(* ------------------------------------------------------------------ *)
+
+let test_backoff_budget () =
+  check "no budget stays none" true
+    (Runner.backoff_budget None ~attempt:3 = None);
+  Alcotest.(check (float 1e-9))
+    "attempt 0 keeps the budget" 0.5
+    (Option.get (Runner.backoff_budget (Some 0.5) ~attempt:0));
+  Alcotest.(check (float 1e-9))
+    "attempt 1 doubles it" 1.0
+    (Option.get (Runner.backoff_budget (Some 0.5) ~attempt:1));
+  Alcotest.(check (float 1e-9))
+    "attempt 2 doubles again" 2.0
+    (Option.get (Runner.backoff_budget (Some 0.5) ~attempt:2))
+
+(* A trial that always times out: retried with a doubled budget each
+   attempt, and after the last retry it is quarantined with the attempt
+   count on record. *)
+let test_timeout_retries_then_quarantine () =
+  let model = Model.make Model.Asg Model.Sum 12 in
+  let spec =
+    Runner.spec ~time_budget:(-1.0) ~max_retries:2 model (fun rng ->
+        Ncg_graph.Gen.random_budget_network rng 12 2)
+  in
+  let outcomes = Runner.run_outcomes ~trials:3 spec in
+  check_int "three outcomes" 3 (List.length outcomes);
+  List.iter
+    (fun (o : Stats.outcome) ->
+      check "timed out" true
+        (match o.Stats.verdict with
+        | Stats.Finished { reason = Engine.Time_limit; _ } -> true
+        | _ -> false);
+      check_int "all attempts used" 3 o.Stats.attempts;
+      check "quarantined" true o.Stats.quarantined)
+    outcomes;
+  let s = Stats.summarize_outcomes outcomes in
+  check_int "summary timed_out" 3 s.Stats.timed_out;
+  check_int "summary retried" 3 s.Stats.retried;
+  check_int "summary quarantined" 3 s.Stats.quarantined
+
+(* A trial that crashes on its first attempt only: the retry (fresh
+   sub-seed) succeeds and nothing is quarantined. *)
+let test_flaky_trial_recovers_on_retry () =
+  let model = Model.make Model.Asg Model.Sum 10 in
+  let calls = Atomic.make 0 in
+  let spec =
+    Runner.spec ~max_retries:2 model (fun rng ->
+        if Atomic.fetch_and_add calls 1 = 0 then failwith "flaky attempt";
+        Ncg_graph.Gen.random_budget_network rng 10 2)
+  in
+  let s = Runner.run ~trials:1 spec in
+  check_int "the trial converged" 1 s.Stats.converged;
+  check_int "no error in the statistics" 0 s.Stats.errors;
+  check_int "counted as retried" 1 s.Stats.retried;
+  check_int "not quarantined" 0 s.Stats.quarantined
+
+(* Without retries enabled, behavior is exactly the historical one: a
+   single attempt, no quarantine flags, whatever the verdict. *)
+let test_no_retries_is_historical_behavior () =
+  let model = Model.make Model.Asg Model.Sum 12 in
+  let spec =
+    Runner.spec ~time_budget:(-1.0) model (fun rng ->
+        Ncg_graph.Gen.random_budget_network rng 12 2)
+  in
+  let outcomes = Runner.run_outcomes ~trials:2 spec in
+  List.iter
+    (fun (o : Stats.outcome) ->
+      check_int "single attempt" 1 o.Stats.attempts;
+      check "not quarantined" false o.Stats.quarantined)
+    outcomes
+
+let test_quarantine_reaches_incident_log () =
+  let log_path = Filename.temp_file "ncg_incidents" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove log_path with Sys_error _ -> ())
+    (fun () ->
+      let model = Model.make Model.Asg Model.Sum 10 in
+      let spec =
+        Runner.spec ~max_retries:1 model (fun _ -> failwith "always broken")
+      in
+      let log = Incident_log.open_ log_path in
+      let s =
+        Runner.run ~incidents:log ~trials:2 spec
+      in
+      Incident_log.close log;
+      check_int "both trials quarantined" 2 s.Stats.quarantined;
+      let ic = open_in log_path in
+      let lines = ref [] in
+      (try
+         while true do
+           lines := input_line ic :: !lines
+         done
+       with End_of_file -> ());
+      close_in ic;
+      check_int "one JSON line per quarantined trial" 2 (List.length !lines);
+      List.iter
+        (fun line ->
+          check "records the event kind" true
+            (Astring_like.contains line "\"quarantined\"");
+          check "records the attempt count" true
+            (Astring_like.contains line "\"attempts\":2"))
+        !lines)
 
 let test_sweep_checkpoint_resume () =
   with_temp_checkpoint (fun path ->
@@ -295,7 +446,8 @@ let fake_curves () =
   let summary steps =
     Stats.summarize
       [ { Engine.reason = Engine.Converged; steps; history = [];
-          final = Ncg_graph.Gen.path 2 } ]
+          final = Ncg_graph.Gen.path 2;
+          sentinel = Sentinel.clean_report } ]
   in
   [ { Series.label = "a";
       points =
@@ -347,6 +499,17 @@ let suite =
         test_checkpoint_fingerprint_mismatch;
       Alcotest.test_case "checkpoint torn line" `Quick
         test_checkpoint_torn_line_ignored;
+      Alcotest.test_case "checkpoint v1 malformed lines surfaced" `Quick
+        test_checkpoint_v1_malformed_lines_surfaced;
+      Alcotest.test_case "backoff budget" `Quick test_backoff_budget;
+      Alcotest.test_case "timeout retries then quarantine" `Quick
+        test_timeout_retries_then_quarantine;
+      Alcotest.test_case "flaky trial recovers on retry" `Quick
+        test_flaky_trial_recovers_on_retry;
+      Alcotest.test_case "no retries is historical behavior" `Quick
+        test_no_retries_is_historical_behavior;
+      Alcotest.test_case "quarantine reaches incident log" `Quick
+        test_quarantine_reaches_incident_log;
       Alcotest.test_case "sweep checkpoint resume" `Quick
         test_sweep_checkpoint_resume;
       Alcotest.test_case "asg sweep structure" `Quick

@@ -73,6 +73,32 @@ let test_chunking_edge_cases () =
     (Pool.map_reduce ~domains:0 ~map:(fun x -> x) ~combine:( + ) 0
        [ 1; 2; 3 ])
 
+(* [map_result] splits items into one contiguous chunk per domain; a
+   worker whose very FIRST item raises must still produce results for
+   every other item of its chunk and of its siblings.  The property arms
+   the worst case — every chunk's first item raises at once. *)
+let prop_first_item_failure =
+  QCheck.Test.make ~count:100
+    ~name:"raising on each domain's first item spares all other items"
+    QCheck.(pair (int_range 2 120) (int_range 2 6))
+    (fun (n, domains) ->
+      let k = min domains n in
+      let base = n / k and extra = n mod k in
+      (* first index of chunk [i], mirroring the pool's chunking *)
+      let first_of i = (i * base) + min i extra in
+      let firsts = List.init k first_of in
+      let f x = if List.mem x firsts then raise (Boom x) else x + 1 in
+      let results = Pool.map_result ~domains f (List.init n (fun i -> i)) in
+      List.length results = n
+      && List.for_all2
+           (fun i r ->
+             match r with
+             | Ok y -> (not (List.mem i firsts)) && y = i + 1
+             | Error (Boom b, _) -> List.mem i firsts && b = i
+             | Error _ -> false)
+           (List.init n (fun i -> i))
+           results)
+
 let test_order_stability_large () =
   let xs = List.init 157 (fun i -> i) in
   List.iter
@@ -96,4 +122,5 @@ let suite =
       Alcotest.test_case "chunking edge cases" `Quick
         test_chunking_edge_cases;
       Alcotest.test_case "order stability" `Quick test_order_stability_large;
+      QCheck_alcotest.to_alcotest prop_first_item_failure;
     ] )

@@ -6,7 +6,13 @@
    trial.  Exit code 0 iff every check passes — CI runs this as the
    robustness gate.
 
-     dune exec tools/chaos_check.exe *)
+     dune exec tools/chaos_check.exe
+
+   With `--sim path/to/ncg_sim.exe` it additionally chaos-tests the
+   binary itself as a subprocess: a SIGINT mid-sweep must flush the
+   checkpoint and print a resume hint before exiting 130, and a sweep
+   killed hard with SIGKILL must complete under `--resume` without
+   rerunning the trials that survived on disk. *)
 
 open Ncg_graph
 open Ncg_game
@@ -93,10 +99,143 @@ let pool_survives_raising_trial () =
     | Error (Failure m, _) -> m = "chaos trial"
     | _ -> false)
 
+(* ------------------------------------------------------------------ *)
+(* Subprocess chaos: interrupt and hard-kill the real binary           *)
+(* ------------------------------------------------------------------ *)
+
+let read_file path =
+  match open_in_bin path with
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+  | exception Sys_error _ -> ""
+
+let count_lines path =
+  String.fold_left
+    (fun acc c -> if c = '\n' then acc + 1 else acc)
+    0 (read_file path)
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  nn = 0 || go 0
+
+let remove_quietly path = try Sys.remove path with Sys_error _ -> ()
+
+let spawn sim args ~out ~err =
+  let open_to path =
+    Unix.openfile path [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644
+  in
+  let out_fd = open_to out and err_fd = open_to err in
+  let pid =
+    Unix.create_process sim
+      (Array.of_list (sim :: args))
+      Unix.stdin out_fd err_fd
+  in
+  Unix.close out_fd;
+  Unix.close err_fd;
+  pid
+
+(* Poll for [pred] every 10 ms; checkpoint records land within the first
+   batch (8 * domains trials), so the wait is normally tens of ms. *)
+let wait_for ?(timeout = 60.0) pred =
+  let rec go elapsed =
+    pred ()
+    || elapsed <= timeout
+       && begin
+            Unix.sleepf 0.01;
+            go (elapsed +. 0.01)
+          end
+  in
+  go 0.0
+
+let temp_prefix tag =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "chaos_%s_%d" tag (Unix.getpid ()))
+
+(* A sweep far too large to finish gets SIGINT once the first batch is on
+   disk: the run must stop with the conventional 128+2, keep the recorded
+   trials, and tell the user how to resume. *)
+let sigint_flushes_checkpoint sim =
+  print_endline "subprocess interruption (SIGINT):";
+  let prefix = temp_prefix "sigint" in
+  let ck = prefix ^ ".ck" and out = prefix ^ ".out" and err = prefix ^ ".err" in
+  remove_quietly ck;
+  let pid =
+    spawn sim
+      [ "fig7"; "--ns"; "24"; "--trials"; "100000"; "--seed"; "3";
+        "--domains"; "2"; "--checkpoint"; ck ]
+      ~out ~err
+  in
+  check "a trial was checkpointed before the interrupt"
+    (wait_for (fun () -> count_lines ck >= 2));
+  Unix.kill pid Sys.sigint;
+  let _, status = Unix.waitpid [] pid in
+  check "interrupted sweep exits 130" (status = Unix.WEXITED 130);
+  check "completed trials survive on disk" (count_lines ck >= 2);
+  let hint = read_file err in
+  check "stderr carries the resume hint"
+    (contains hint "Resume with:" && contains hint ck);
+  List.iter remove_quietly [ ck; out; err ]
+
+(* A small sweep killed hard — no handler runs, a torn tail is possible —
+   must complete under --resume, with the loader reporting what it
+   recovered and the sweep finishing normally. *)
+let sigkill_then_resume sim =
+  print_endline "subprocess hard kill + resume (SIGKILL):";
+  let prefix = temp_prefix "sigkill" in
+  let ck = prefix ^ ".ck" and out = prefix ^ ".out" and err = prefix ^ ".err" in
+  remove_quietly ck;
+  let args =
+    [ "fig7"; "--ns"; "10"; "--trials"; "1000"; "--seed"; "5"; "--domains";
+      "1"; "--checkpoint"; ck ]
+  in
+  let pid = spawn sim args ~out ~err in
+  check "a trial was checkpointed before the kill"
+    (wait_for (fun () -> count_lines ck >= 2));
+  Unix.kill pid Sys.sigkill;
+  (match Unix.waitpid [] pid with
+  | _, Unix.WSIGNALED s -> check "sweep died from the kill" (s = Sys.sigkill)
+  | _, Unix.WEXITED 0 ->
+      (* pathological scheduling: the sweep finished first; the resume
+         below still must be a no-op success *)
+      check "sweep died from the kill (finished first)" true
+  | _ -> check "sweep died from the kill" false);
+  check "records survive the hard kill" (count_lines ck >= 2);
+  let pid2 = spawn sim (args @ [ "--resume" ]) ~out ~err in
+  let _, status = Unix.waitpid [] pid2 in
+  check "resumed sweep completes cleanly" (status = Unix.WEXITED 0);
+  let resumed = read_file out in
+  check "resume reports the loaded checkpoint"
+    (contains resumed "checkpoint");
+  check "resumed sweep prints its results"
+    (contains resumed "max steps / n");
+  List.iter remove_quietly [ ck; out; err ]
+
+let sim_path () =
+  let rec find = function
+    | "--sim" :: path :: _ -> Some path
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  find (Array.to_list Sys.argv)
+
 let () =
   fault_matrix ();
   engine_surfaces_violations ();
   pool_survives_raising_trial ();
+  (match sim_path () with
+  | Some sim ->
+      sigint_flushes_checkpoint sim;
+      sigkill_then_resume sim
+  | None ->
+      print_endline
+        "subprocess checks skipped (pass --sim path/to/ncg_sim.exe to run \
+         them)");
   if !failures > 0 then begin
     Printf.printf "chaos_check: %d check(s) FAILED\n" !failures;
     exit 1
