@@ -457,6 +457,131 @@ let fastpath scale =
       }
 
 (* ------------------------------------------------------------------ *)
+(* Fleet vs single process                                             *)
+(* ------------------------------------------------------------------ *)
+
+type fleet_report = {
+  fl_cmd : string;
+  fl_n : int;
+  fl_trials : int;
+  fl_seed : int;
+  fl_workers : int;
+  fl_shards : int;
+  single_wall : float;
+  fleet_wall : float;
+  fl_identical : bool;
+}
+
+let fleet_report : fleet_report option ref = ref None
+
+(* Path to the built ncg_sim binary (--sim); the fleet leg spawns it. *)
+let sim_binary : string option ref = ref None
+
+let read_file path =
+  match open_in_bin path with
+  | ic ->
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
+  | exception Sys_error _ -> ""
+
+let contains haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i =
+    i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1))
+  in
+  nn = 0 || go 0
+
+let remove_dir_quietly dir =
+  (match Sys.readdir dir with
+  | names ->
+      Array.iter
+        (fun n -> try Sys.remove (Filename.concat dir n) with Sys_error _ -> ())
+        names
+  | exception Sys_error _ -> ());
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()
+
+(* Process-level supervision is not free: leases, heartbeats and per-shard
+   checkpoints all cost wall-clock.  This leg prices it — a fleet of W
+   worker subprocesses against one process running W domains on the same
+   pinned sweep point — and checks the merged statistics are bit-identical
+   and the overhead stays within 1.5x. *)
+let fleet_leg scale =
+  section "Fleet vs single process: fig11 point, equal total workers";
+  match !sim_binary with
+  | None ->
+      print_endline
+        "  skipped (pass --sim path/to/ncg_sim.exe to run the fleet leg)"
+  | Some sim ->
+      (* pinned like fastpath: the overhead claim only makes sense at a
+         fixed workload, whatever --trials says *)
+      let cmd = "fig11" and n = 40 and trials = 120 in
+      let seed = scale.seed in
+      let workers =
+        max 2 (min 4 (Ncg_parallel.Pool.recommended_domains ()))
+      in
+      let shards = 2 * workers in
+      let point =
+        match Fleet.point_spec cmd ~n with
+        | Some p -> p
+        | None -> failwith "unknown fleet point"
+      in
+      let t0 = Unix.gettimeofday () in
+      let single =
+        Runner.run ~domains:workers ~seed ~trials point.Fleet.spec
+      in
+      let single_wall = Unix.gettimeofday () -. t0 in
+      let dir = Filename.temp_file "ncg_bench_fleet" ".d" in
+      Sys.remove dir;
+      let out = Filename.temp_file "ncg_bench_fleet" ".out" in
+      let out_fd =
+        Unix.openfile out [ Unix.O_WRONLY; Unix.O_TRUNC ] 0o644
+      in
+      let t1 = Unix.gettimeofday () in
+      let pid =
+        Unix.create_process sim
+          [|
+            sim; "fleet"; "--cmd"; cmd; "-n"; string_of_int n; "--trials";
+            string_of_int trials; "--seed"; string_of_int seed; "--workers";
+            string_of_int workers; "--shards"; string_of_int shards; "--dir";
+            dir;
+          |]
+          Unix.stdin out_fd Unix.stderr
+      in
+      Unix.close out_fd;
+      let _, status = Unix.waitpid [] pid in
+      let fleet_wall = Unix.gettimeofday () -. t1 in
+      let text = read_file out in
+      let expected = Format.asprintf "%a" Stats.pp single in
+      let identical = contains text ("summary: " ^ expected) in
+      remove_dir_quietly dir;
+      (try Sys.remove out with Sys_error _ -> ());
+      let ratio =
+        if single_wall > 0.0 then fleet_wall /. single_wall else 0.0
+      in
+      Printf.printf
+        "  %s n=%d trials=%d, %d workers / %d shards\n\
+        \  single process: %7.3f s\n\
+        \  fleet:          %7.3f s  (%.2fx)\n"
+        cmd n trials workers shards single_wall fleet_wall ratio;
+      check "fleet completed cleanly" (status = Unix.WEXITED 0);
+      check "fleet statistics bit-identical to the single process" identical;
+      check "supervision overhead within 1.5x" (ratio <= 1.5);
+      fleet_report :=
+        Some
+          {
+            fl_cmd = cmd;
+            fl_n = n;
+            fl_trials = trials;
+            fl_seed = seed;
+            fl_workers = workers;
+            fl_shards = shards;
+            single_wall;
+            fleet_wall;
+            fl_identical = identical;
+          }
+
+(* ------------------------------------------------------------------ *)
 (* BENCH.json                                                          *)
 (* ------------------------------------------------------------------ *)
 
@@ -531,6 +656,27 @@ let write_json path ~scale ~timings =
             ("identical_trajectories", string_of_bool r.identical);
           ]
   in
+  let fleet_json =
+    match !fleet_report with
+    | None -> "null"
+    | Some r ->
+        Json.obj
+          [
+            ("cmd", Json.str r.fl_cmd);
+            ("n", string_of_int r.fl_n);
+            ("trials", string_of_int r.fl_trials);
+            ("seed", string_of_int r.fl_seed);
+            ("workers", string_of_int r.fl_workers);
+            ("shards", string_of_int r.fl_shards);
+            ("single_wall_s", Json.num r.single_wall);
+            ("fleet_wall_s", Json.num r.fleet_wall);
+            ( "overhead_ratio",
+              Json.num
+                (if r.single_wall > 0.0 then r.fleet_wall /. r.single_wall
+                 else 0.0) );
+            ("identical_statistics", string_of_bool r.fl_identical);
+          ]
+  in
   let experiments =
     Json.arr
       (List.rev_map
@@ -557,13 +703,21 @@ let write_json path ~scale ~timings =
             ] );
         ("experiments", experiments);
         ("fastpath", fastpath_json);
+        ("fleet", fleet_json);
       ]
   in
-  let oc = open_out path in
-  output_string oc doc;
-  output_char oc '\n';
-  close_out oc;
-  Printf.printf "\nwrote %s\n" path
+  let write_to p =
+    let oc = open_out p in
+    output_string oc doc;
+    output_char oc '\n';
+    close_out oc;
+    Printf.printf "\nwrote %s\n" p
+  in
+  write_to path;
+  (* keep the per-PR trajectory: [path] is the rolling latest, the
+     PR-stamped sibling is the archived snapshot of this change *)
+  let pr_snapshot = Filename.concat (Filename.dirname path) "BENCH_pr4.json" in
+  if Filename.basename path <> "BENCH_pr4.json" then write_to pr_snapshot
 
 (* ------------------------------------------------------------------ *)
 (* Registry and CLI                                                    *)
@@ -596,6 +750,7 @@ let experiments : (string * string * (scale -> unit)) list =
     ("nocycle", "random-instance cycle hunt (Secs. 3.4/4.2)", nocycle);
     ("micro", "Bechamel micro-benchmarks", micro);
     ("fastpath", "fast engine vs reference oracle (SUM-GBG n=100)", fastpath);
+    ("fleet", "fleet vs single process (supervision overhead)", fleet_leg);
   ]
 
 let () =
@@ -613,6 +768,9 @@ let () =
     | "--json" :: path :: rest ->
         json := Some path;
         parse rest
+    | "--sim" :: path :: rest ->
+        sim_binary := Some path;
+        parse rest
     | "--trials" :: t :: rest ->
         trials := int_of_string t;
         parse rest
@@ -629,7 +787,7 @@ let () =
         Printf.eprintf
           "unknown argument %s\n\
            usage: main.exe [--only ID]* [--trials T] [--nmax N] [--seed S] \
-           [--paper] [--json PATH]\n\
+           [--paper] [--json PATH] [--sim NCG_SIM]\n\
            ids: %s\n"
           arg
           (String.concat " " (List.map (fun (id, _, _) -> id) experiments));

@@ -151,33 +151,44 @@ let with_incidents path k =
 
 (* SIGINT/SIGTERM request a cooperative stop: the sweep finishes and
    records its in-flight batch, then raises [Runner.Interrupted], the
-   checkpoint is closed on unwind, and we exit with the conventional
-   128+SIGINT code after printing how to pick the sweep back up. *)
+   checkpoint is closed on unwind, and we exit with the signal-accurate
+   conventional code (128+2 = 130 for SIGINT, 128+15 = 143 for SIGTERM)
+   after printing how to pick the sweep back up. *)
 let install_signal_handlers () =
-  let handle _ = Runner.request_stop () in
+  let handle signal = Runner.request_stop ~signal () in
   List.iter
     (fun signal ->
       try Sys.set_signal signal (Sys.Signal_handle handle)
       with Invalid_argument _ | Sys_error _ -> ())
     [ Sys.sigint; Sys.sigterm ]
 
-let interruptible ~checkpoint k =
+let interrupt_exit_code () =
+  match Runner.stop_signal () with
+  | Some s when s = Sys.sigterm -> 143
+  | Some s when s = Sys.sigint -> 130
+  | _ -> 130
+
+let interruptible ~resume_hint k =
   install_signal_handlers ();
   match k () with
   | () -> ()
   | exception Runner.Interrupted ->
       flush stdout;
-      (match checkpoint with
-      | Some path ->
-          Printf.eprintf
-            "ncg_sim: interrupted; completed trials are checkpointed.\n\
-             Resume with: --checkpoint %s --resume\n"
-            path
+      (match resume_hint with
+      | Some hint -> Printf.eprintf "ncg_sim: interrupted; %s\n" hint
       | None ->
           Printf.eprintf
             "ncg_sim: interrupted; no --checkpoint was given, so completed \
              trials are lost.\n");
-      exit 130
+      exit (interrupt_exit_code ())
+
+let checkpoint_hint checkpoint =
+  Option.map
+    (fun path ->
+      Printf.sprintf
+        "completed trials are checkpointed.\n\
+         Resume with: --checkpoint %s --resume" path)
+    checkpoint
 
 let out_term =
   let doc = "Also write gnuplot-ready data to $(docv)." in
@@ -210,7 +221,7 @@ let sweep_term cmd_name run =
 let asg_cmd name dist_sel figure =
   let run ns trials seed domains out value checkpoint resume sentinel
       max_retries incidents cmd =
-    interruptible ~checkpoint (fun () ->
+    interruptible ~resume_hint:(checkpoint_hint checkpoint) (fun () ->
         with_checkpoint ~cmd ~ns ~trials ~seed ~checkpoint ~resume (fun cp ->
             with_incidents incidents (fun log ->
                 let p =
@@ -232,7 +243,7 @@ let asg_cmd name dist_sel figure =
 let gbg_cmd name dist_sel figure =
   let run ns trials seed domains out value checkpoint resume sentinel
       max_retries incidents cmd =
-    interruptible ~checkpoint (fun () ->
+    interruptible ~resume_hint:(checkpoint_hint checkpoint) (fun () ->
         with_checkpoint ~cmd ~ns ~trials ~seed ~checkpoint ~resume (fun cp ->
             with_incidents incidents (fun log ->
                 let p =
@@ -252,7 +263,7 @@ let gbg_cmd name dist_sel figure =
 let topo_cmd name dist_sel figure =
   let run ns trials seed domains out value checkpoint resume sentinel
       max_retries incidents cmd =
-    interruptible ~checkpoint (fun () ->
+    interruptible ~resume_hint:(checkpoint_hint checkpoint) (fun () ->
         with_checkpoint ~cmd ~ns ~trials ~seed ~checkpoint ~resume (fun cp ->
             with_incidents incidents (fun log ->
                 let p =
@@ -270,6 +281,186 @@ let topo_cmd name dist_sel figure =
     Printf.sprintf "Reproduce %s: GBG starting-topology comparison." figure
   in
   Cmd.v (Cmd.info name ~doc) (sweep_term name run)
+
+(* ------------------------------------------------------------------ *)
+(* Fleet: multi-process supervised sweep                               *)
+(* ------------------------------------------------------------------ *)
+
+let fleet_cmd_term =
+  let doc =
+    Printf.sprintf "Sweep point family to run: %s."
+      (String.concat ", " Fleet.point_names)
+  in
+  Arg.(
+    required
+    & opt (some (enum (List.map (fun c -> (c, c)) Fleet.point_names))) None
+    & info [ "cmd" ] ~docv:"CMD" ~doc)
+
+let fleet_n_term =
+  let doc = "Agent count of the sweep point." in
+  Arg.(value & opt int 24 & info [ "n" ] ~doc)
+
+let fleet_dir_term =
+  let doc =
+    "Fleet state directory (leases and checkpoint shards); survives the \
+     supervisor, so rerunning the same command resumes the sweep."
+  in
+  Arg.(value & opt string "ncg-fleet" & info [ "dir" ] ~docv:"DIR" ~doc)
+
+let workers_term =
+  let doc =
+    "Concurrent worker subprocesses; 0 picks a machine-appropriate count."
+  in
+  Arg.(value & opt int 0 & info [ "workers" ] ~doc)
+
+let shards_term =
+  let doc =
+    "Trial shards (lease granularity); 0 means 4 per worker.  More shards \
+     mean finer-grained reassignment after a worker death."
+  in
+  Arg.(value & opt int 0 & info [ "shards" ] ~doc)
+
+let max_respawns_term =
+  let doc =
+    "Respawns allowed per shard beyond its first worker; a shard failing \
+     every respawn is quarantined and its unfinished trials reported \
+     missing."
+  in
+  Arg.(value & opt int 3 & info [ "max-respawns" ] ~docv:"N" ~doc)
+
+let heartbeat_timeout_term =
+  let doc =
+    "Seconds without a worker heartbeat before the supervisor declares it \
+     dead, kills it, and reassigns its shard."
+  in
+  Arg.(value & opt float 10.0 & info [ "heartbeat-timeout" ] ~docv:"SECS" ~doc)
+
+let heartbeat_interval_term =
+  let doc = "Worker heartbeat period in seconds (internal)." in
+  Arg.(
+    value & opt float 0.5 & info [ "heartbeat-interval" ] ~docv:"SECS" ~doc)
+
+let shard_term =
+  let doc = "Shard index this worker owns (internal)." in
+  Arg.(required & opt (some int) None & info [ "shard" ] ~docv:"K" ~doc)
+
+let fleet_point cmd n =
+  match Fleet.point_spec cmd ~n with
+  | Some point -> point
+  | None ->
+      Printf.eprintf "ncg_sim: unknown fleet point %s (known: %s)\n" cmd
+        (String.concat ", " Fleet.point_names);
+      exit 2
+
+let fleet_cmd =
+  let run cmd n trials seed workers shards dir max_respawns heartbeat_timeout
+      heartbeat_interval incidents =
+    let point = fleet_point cmd n in
+    let fingerprint = Fleet.fingerprint ~cmd ~n ~trials ~seed in
+    let workers =
+      if workers <= 0 then Ncg_parallel.Pool.recommended_domains ()
+      else workers
+    in
+    let shards = if shards <= 0 then 4 * workers else shards in
+    let spawn ~shard =
+      let args =
+        [
+          "fleet-worker"; "--cmd"; cmd; "-n"; string_of_int n; "--trials";
+          string_of_int trials; "--seed"; string_of_int seed; "--shard";
+          string_of_int shard; "--dir"; dir; "--heartbeat-interval";
+          Printf.sprintf "%g" heartbeat_interval;
+        ]
+        @ (match incidents with
+          | Some path -> [ "--incidents"; path ]
+          | None -> [])
+      in
+      Unix.create_process Sys.executable_name
+        (Array.of_list (Sys.executable_name :: args))
+        Unix.stdin Unix.stdout Unix.stderr
+    in
+    with_incidents incidents (fun log ->
+        interruptible
+          ~resume_hint:
+            (Some
+               (Printf.sprintf
+                  "fleet state is preserved in %s.\n\
+                   Resume by rerunning the same fleet command." dir))
+          (fun () ->
+            Printf.printf "fleet %s n=%d trials=%d seed=%d: workers=%d \
+                           shards=%d\n%!" cmd n trials seed workers shards;
+            let cfg =
+              {
+                Fleet.dir;
+                fingerprint;
+                key = point.Fleet.key;
+                seed;
+                trials;
+                shards;
+                workers;
+                heartbeat_timeout;
+                poll_interval = 0.05;
+                max_respawns;
+                spawn;
+                incidents = log;
+              }
+            in
+            let r = Fleet.supervise cfg in
+            Printf.printf "summary: %s\n"
+              (Format.asprintf "%a" Ncg_core.Stats.pp r.Fleet.summary);
+            Printf.printf
+              "fleet: respawns=%d quarantined=%d missing=%d \
+               cross-shard-duplicates=%d\n"
+              r.Fleet.respawns
+              (List.length r.Fleet.quarantined)
+              (List.length r.Fleet.missing)
+              r.Fleet.cross_duplicates;
+            List.iter
+              (fun (s, report) ->
+                if report.Checkpoint.corrupted <> [] then
+                  Format.printf "shard %04d: %a@." s
+                    Checkpoint.pp_load_report report)
+              r.Fleet.shard_reports;
+            if r.Fleet.missing <> [] then begin
+              Printf.eprintf
+                "ncg_sim: %d trial(s) missing after quarantine; raise \
+                 --max-respawns and rerun to fill them in.\n"
+                (List.length r.Fleet.missing);
+              exit 1
+            end))
+  in
+  let doc =
+    "Run one sweep point as a supervised fleet of worker subprocesses with \
+     durable leases, heartbeats, and crash-reassignment; the merged result \
+     is bit-identical to a single-process run of the same seed."
+  in
+  Cmd.v (Cmd.info "fleet" ~doc)
+    Term.(
+      const run $ fleet_cmd_term $ fleet_n_term $ trials_term $ seed_term
+      $ workers_term $ shards_term $ fleet_dir_term $ max_respawns_term
+      $ heartbeat_timeout_term $ heartbeat_interval_term $ incidents_term)
+
+let fleet_worker_cmd =
+  let run cmd n trials seed shard dir heartbeat_interval incidents =
+    let point = fleet_point cmd n in
+    let fingerprint = Fleet.fingerprint ~cmd ~n ~trials ~seed in
+    with_incidents incidents (fun log ->
+        match
+          Fleet.worker ~dir ~fingerprint ~shard ~key:point.Fleet.key ~seed
+            ~trials ~heartbeat_interval ?incidents:log point.Fleet.spec
+        with
+        | Ok () -> ()
+        | Error msg ->
+            Printf.eprintf "ncg_sim fleet-worker[shard %d]: %s\n" shard msg;
+            exit 3)
+  in
+  let doc =
+    "INTERNAL: run one fleet shard (spawned by $(b,ncg_sim fleet))."
+  in
+  Cmd.v (Cmd.info "fleet-worker" ~doc)
+    Term.(
+      const run $ fleet_cmd_term $ fleet_n_term $ trials_term $ seed_term
+      $ shard_term $ fleet_dir_term $ heartbeat_interval_term
+      $ incidents_term)
 
 (* Empirical price of anarchy of the converged networks (Sec. 1.3's
    motivation: selfish play should end near the social optimum). *)
@@ -343,6 +534,8 @@ let () =
         topo_cmd "fig12" `Sum "Figure 12 (SUM-GBG topologies)";
         gbg_cmd "fig13" `Max "Figure 13 (MAX-GBG)";
         topo_cmd "fig14" `Max "Figure 14 (MAX-GBG topologies)";
+        fleet_cmd;
+        fleet_worker_cmd;
         poa_cmd;
         classify_cmd;
       ]

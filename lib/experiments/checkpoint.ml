@@ -264,6 +264,39 @@ let load_existing path fingerprint =
           migrated_from_v1 = version = V1;
         } ))
 
+(* Deterministic multi-shard merge: shards are loaded in the order given,
+   later shards override earlier ones on a duplicate (key, trial), and the
+   result is sorted — whatever Hashtbl iteration order did in between, the
+   merged list is a function of the shard contents and their order alone. *)
+type merge_result = {
+  merged : ((string * int) * Stats.outcome) list;
+  shard_reports : (string * load_report) list;
+  cross_duplicates : int;
+}
+
+let merge_shards ~fingerprint paths =
+  let acc = Hashtbl.create 1024 in
+  let cross = ref 0 in
+  let shard_reports =
+    List.filter_map
+      (fun path ->
+        if not (Sys.file_exists path) then None
+        else begin
+          let tbl, report = load_existing path fingerprint in
+          Hashtbl.iter
+            (fun k o ->
+              if Hashtbl.mem acc k then incr cross;
+              Hashtbl.replace acc k o)
+            tbl;
+          Some (path, report)
+        end)
+      paths
+  in
+  let merged =
+    List.sort compare (Hashtbl.fold (fun k o l -> (k, o) :: l) acc [])
+  in
+  { merged; shard_reports; cross_duplicates = !cross }
+
 let sanitize_key key =
   String.map (function '\t' | '\n' | '\r' -> ' ' | c -> c) key
 

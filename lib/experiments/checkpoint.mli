@@ -89,3 +89,35 @@ val pp_load_report : Format.formatter -> load_report -> unit
 val crc32 : string -> int
 (** The IEEE CRC32 used for record checksums — exposed so corruption
     tests can craft valid and near-valid records by hand. *)
+
+val frame : string -> string
+(** [frame payload] is the v2 line for [payload]:
+    [<crc32 hex> TAB <length> TAB <payload>] (no trailing newline) —
+    exposed so sibling durable formats ({!Lease}) share the exact same
+    corruption-evident framing. *)
+
+val unframe : string -> (string, string) result
+(** Inverse of {!frame}: checks the declared length, then the CRC, and
+    returns the payload or a human-readable reason. *)
+
+(** Result of merging several checkpoint {e shards} (the per-worker files
+    a {!Fleet} sweep writes) into one record set. *)
+type merge_result = {
+  merged : ((string * int) * Stats.outcome) list;
+      (** deduplicated records, sorted by (key, trial) *)
+  shard_reports : (string * load_report) list;
+      (** per existing shard file, in argument order — a torn shard tail
+          shows up here exactly as it would on a single-file resume *)
+  cross_duplicates : int;
+      (** records that appeared in more than one shard; the later shard
+          (in argument order) won *)
+}
+
+val merge_shards : fingerprint:string -> string list -> merge_result
+(** Loads every existing file among [paths] (in order; missing files are
+    skipped — the shard never started) and merges their records.  The
+    merge is deterministic: duplicates within a shard resolve last-wins
+    as on a normal load, duplicates across shards resolve to the latest
+    shard in argument order, and [merged] is sorted.
+    @raise Failure if a shard belongs to a different sweep (fingerprint
+    mismatch) or is not a checkpoint file. *)

@@ -1,0 +1,112 @@
+(** Process-level supervision for trial sweeps: a fleet of worker
+    subprocesses under durable leases.
+
+    PR 1/3's self-healing runtime retries and checkpoints {e inside} one
+    OS process — a segfault, OOM kill, or machine stall still takes the
+    whole sweep down.  The fleet moves the blast radius one level up: a
+    supervisor shards the trial batch into contiguous ranges, persists
+    one {!Lease} per shard, and spawns worker subprocesses that each run
+    their range through {!Runner.run_outcomes} into their own checkpoint
+    shard while heartbeating their lease.  The supervisor detects dead
+    workers two ways — exit status ([waitpid]) and missed heartbeats
+    (lease expiry, after which the stale process is killed so the shard
+    cannot be double-run) — and puts the shard back in the pool, up to a
+    respawn budget, after which the shard is quarantined.  All
+    transitions are typed {!Incident_log} events.
+
+    {b Determinism.}  A trial's RNG derives from the batch seed and its
+    {e absolute} trial index alone ({!Runner}), each completed trial is a
+    durable checkpoint record, and {!Checkpoint.merge_shards} deduplicates
+    deterministically — so however many workers died, were reassigned, or
+    duplicated work, a completed fleet's merged {!Stats.summary} is
+    bit-identical to a single-process run of the same seed. *)
+
+type point = { key : string; spec : Runner.spec }
+
+val point_names : string list
+(** The figure families a fleet can run: ["fig7"], ["fig8"] (budget ASG,
+    k = 2, max-cost) and ["fig11"], ["fig13"] (GBG, m = 4n, alpha = n/4,
+    max-cost, prefer-deletion). *)
+
+val point_spec : string -> n:int -> point option
+(** The pinned configuration for one {!point_names} entry at size [n].
+    Supervisor, workers and out-of-process verifiers all rebuild the spec
+    from [(cmd, n)] alone, so there is nothing to serialize. *)
+
+val fingerprint : cmd:string -> n:int -> trials:int -> seed:int -> string
+(** The sweep fingerprint stamped into every lease and checkpoint shard
+    of a fleet — supervisor and workers must derive it identically. *)
+
+val shard_checkpoint : dir:string -> shard:int -> string
+(** [dir/shard-NNNN.ck], the worker's private checkpoint file. *)
+
+val plan : trials:int -> shards:int -> (int * int) array
+(** Contiguous near-equal ranges [(lo, hi)] partitioning [0, trials);
+    [shards] is clamped to [1, trials].
+    @raise Invalid_argument if [trials < 1]. *)
+
+exception Lease_lost of string
+(** Raised inside a worker's heartbeat when its lease was reassigned or
+    became unreadable; the worker stops immediately (fencing). *)
+
+val worker :
+  dir:string ->
+  fingerprint:string ->
+  shard:int ->
+  key:string ->
+  seed:int ->
+  trials:int ->
+  heartbeat_interval:float ->
+  ?incidents:Incident_log.t ->
+  Runner.spec ->
+  (unit, string) result
+(** Worker entry point: claim the (already [Running]) lease with our PID,
+    run the lease's trial range into the shard checkpoint — resuming a
+    dead predecessor's records rather than rerunning them — heartbeat at
+    batch boundaries, and mark the lease [Done].  [Error] means the shard
+    was not completed (lease lost, unreadable, or not in [Running]
+    state); the caller should exit nonzero so the supervisor reassigns. *)
+
+type config = {
+  dir : string;  (** fleet state directory (leases + checkpoint shards) *)
+  fingerprint : string;
+  key : string;  (** checkpoint key of the sweep point *)
+  seed : int;
+  trials : int;
+  shards : int;
+  workers : int;  (** concurrent worker processes *)
+  heartbeat_timeout : float;
+      (** seconds without a heartbeat before a live-looking worker is
+          declared dead, killed, and its shard reassigned *)
+  poll_interval : float;  (** supervisor poll period, seconds *)
+  max_respawns : int;
+      (** respawns allowed per shard beyond its first spawn; exhausted
+          shards are quarantined *)
+  spawn : shard:int -> int;
+      (** start a worker for [shard], return its PID.  The CLI execs
+          [ncg_sim fleet-worker]; tests fork. *)
+  incidents : Incident_log.t option;
+}
+
+type report = {
+  summary : Stats.summary;  (** over all completed trials, trial order *)
+  outcomes : (int * Stats.outcome) list;  (** completed, by trial index *)
+  missing : int list;
+      (** trials with no record — nonempty iff shards were quarantined
+          before finishing *)
+  respawns : int;  (** reassignments performed *)
+  quarantined : int list;  (** shard ids, sorted *)
+  shard_reports : (int * Checkpoint.load_report) list;
+      (** per shard checkpoint found on merge; surfaces torn tails *)
+  cross_duplicates : int;  (** records found in more than one shard *)
+}
+
+val supervise : config -> report
+(** Run the whole fleet to completion (every shard [Done] or
+    [Quarantined]), then merge the checkpoint shards.  Leases of a
+    previous fleet with the same fingerprint and plan are honored: [Done]
+    shards are merged without rerunning, everything else restarts — so a
+    killed supervisor resumes by rerunning the same command.
+    @raise Runner.Interrupted after {!Runner.request_stop}, once every
+    running worker has been signalled and reaped; fleet state stays on
+    disk for resumption. *)

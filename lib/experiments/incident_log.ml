@@ -1,14 +1,26 @@
-type t = { path : string; oc : out_channel }
+type t = { path : string; fd : Unix.file_descr }
 
 type event =
   | Quarantined of { key : string; trial : int; outcome : Stats.outcome }
   | Degraded of { key : string; trial : int; outcome : Stats.outcome }
   | Divergence of { key : string; trial : int; incident : Sentinel.incident }
+  | Worker_dead of {
+      shard : int;
+      pid : int;
+      cause : string;
+      lo : int;
+      hi : int;
+    }
+  | Reassigned of { shard : int; attempt : int }
+  | Shard_quarantined of { shard : int; lo : int; hi : int; attempts : int }
 
 let open_ path =
-  { path; oc = open_out_gen [ Open_append; Open_creat ] 0o644 path }
+  {
+    path;
+    fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644;
+  }
 
-let close t = close_out_noerr t.oc
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
 let path t = t.path
 
@@ -95,8 +107,45 @@ let json_of_event = function
           ("fingerprint", json_string incident.Sentinel.fingerprint);
           ("detail", json_string (Sentinel.incident_to_string incident));
         ]
+  | Worker_dead { shard; pid; cause; lo; hi } ->
+      obj
+        [
+          ("event", json_string "worker_dead");
+          ("shard", string_of_int shard);
+          ("pid", string_of_int pid);
+          ("cause", json_string cause);
+          ("lo", string_of_int lo);
+          ("hi", string_of_int hi);
+        ]
+  | Reassigned { shard; attempt } ->
+      obj
+        [
+          ("event", json_string "reassigned");
+          ("shard", string_of_int shard);
+          ("attempt", string_of_int attempt);
+        ]
+  | Shard_quarantined { shard; lo; hi; attempts } ->
+      obj
+        [
+          ("event", json_string "shard_quarantined");
+          ("shard", string_of_int shard);
+          ("lo", string_of_int lo);
+          ("hi", string_of_int hi);
+          ("attempts", string_of_int attempts);
+        ]
 
+(* One write(2) per record.  The fd is O_APPEND, so the kernel serializes
+   concurrent appenders at the offset: as long as each record is a single
+   write, records from different processes (fleet workers and their
+   supervisor share one log) interleave at line granularity, never inside
+   a line.  The retry loop only matters on short writes, which regular
+   files do not produce in practice. *)
 let record t event =
-  output_string t.oc (json_of_event event);
-  output_char t.oc '\n';
-  flush t.oc
+  let line = Bytes.of_string (json_of_event event ^ "\n") in
+  let len = Bytes.length line in
+  let rec write_all off =
+    if off < len then
+      let n = Unix.write t.fd line off (len - off) in
+      write_all (off + n)
+  in
+  write_all 0

@@ -11,10 +11,18 @@
     - [degraded] — the shadow sentinel caught a fast-path divergence and
       the trial finished on the reference engine;
     - [divergence] — one sentinel incident in full detail (step, state
-      fingerprint, what differed), usually alongside a [degraded] event.
+      fingerprint, what differed), usually alongside a [degraded] event;
+    - [worker_dead] / [reassigned] / [shard_quarantined] — the fleet
+      supervisor's process-level events: a worker died (by exit status or
+      missed heartbeats), its shard went back to the pool, or the shard
+      exhausted its respawn budget.
 
     The format is deliberately line-oriented: a torn final line (the crash
-    case) leaves every earlier record intact, mirroring {!Checkpoint}. *)
+    case) leaves every earlier record intact, mirroring {!Checkpoint}.
+    Writes are multi-process safe: the log is opened [O_APPEND] and each
+    record is emitted as a single [write(2)], so a fleet's workers and
+    supervisor can append to one shared file without interleaving inside
+    a record. *)
 
 type t
 
@@ -22,6 +30,15 @@ type event =
   | Quarantined of { key : string; trial : int; outcome : Stats.outcome }
   | Degraded of { key : string; trial : int; outcome : Stats.outcome }
   | Divergence of { key : string; trial : int; incident : Sentinel.incident }
+  | Worker_dead of {
+      shard : int;
+      pid : int;
+      cause : string;  (** e.g. ["killed by signal -7"], ["heartbeat expired"] *)
+      lo : int;
+      hi : int;
+    }
+  | Reassigned of { shard : int; attempt : int }
+  | Shard_quarantined of { shard : int; lo : int; hi : int; attempts : int }
 
 val open_ : string -> t
 (** Opens (appending, creating if needed) the log at [path]. *)
@@ -31,7 +48,8 @@ val close : t -> unit
 val path : t -> string
 
 val record : t -> event -> unit
-(** Appends one event as a single JSON line and flushes. *)
+(** Appends one event as a single JSON line in one [write(2)], so records
+    from concurrent processes never interleave inside a line. *)
 
 val json_of_event : event -> string
 (** The exact line {!record} writes (without the newline) — exposed so

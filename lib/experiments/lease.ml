@@ -1,0 +1,102 @@
+let magic = "# ncg-lease v1"
+
+type status = Pending | Running | Done | Quarantined
+
+type t = {
+  shard : int;
+  lo : int;
+  hi : int;
+  status : status;
+  owner : int;
+  heartbeat : float;
+  attempts : int;
+}
+
+let status_label = function
+  | Pending -> "pending"
+  | Running -> "running"
+  | Done -> "done"
+  | Quarantined -> "quarantined"
+
+let status_of_label = function
+  | "pending" -> Some Pending
+  | "running" -> Some Running
+  | "done" -> Some Done
+  | "quarantined" -> Some Quarantined
+  | _ -> None
+
+let path ~dir ~shard = Filename.concat dir (Printf.sprintf "shard-%04d.lease" shard)
+
+let encode t =
+  Printf.sprintf "%d\t%d\t%d\t%s\t%d\t%.6f\t%d" t.shard t.lo t.hi
+    (status_label t.status) t.owner t.heartbeat t.attempts
+
+let decode payload =
+  match String.split_on_char '\t' payload with
+  | [ shard; lo; hi; status; owner; heartbeat; attempts ] -> (
+      match
+        ( int_of_string_opt shard,
+          int_of_string_opt lo,
+          int_of_string_opt hi,
+          status_of_label status,
+          int_of_string_opt owner,
+          float_of_string_opt heartbeat,
+          int_of_string_opt attempts )
+      with
+      | Some shard, Some lo, Some hi, Some status, Some owner, Some heartbeat,
+        Some attempts ->
+          Some { shard; lo; hi; status; owner; heartbeat; attempts }
+      | _ -> None)
+  | _ -> None
+
+(* Atomic save: temp file + rename, with the temp name made unique per
+   process — the worker (heartbeating) and the supervisor (reassigning)
+   may both save concurrently, and two processes sharing one temp path
+   could interleave a write with the other's rename.  Rename itself is
+   atomic, so readers always see a complete lease; last writer wins. *)
+let save ~dir ~fingerprint t =
+  let p = path ~dir ~shard:t.shard in
+  let tmp = Printf.sprintf "%s.%d.tmp" p (Unix.getpid ()) in
+  let oc = open_out tmp in
+  (try
+     Printf.fprintf oc "%s\t%s\n%s\n" magic (String.escaped fingerprint)
+       (Checkpoint.frame (encode t));
+     flush oc;
+     close_out oc
+   with e ->
+     close_out_noerr oc;
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
+  Sys.rename tmp p
+
+let load ~dir ~fingerprint ~shard =
+  let p = path ~dir ~shard in
+  match open_in p with
+  | exception Sys_error e -> Error e
+  | ic -> (
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () ->
+          match
+            let header = input_line ic in
+            let body = input_line ic in
+            (header, body)
+          with
+          | exception End_of_file -> Error "truncated lease file"
+          | header, body -> (
+              if header <> magic ^ "\t" ^ String.escaped fingerprint then
+                Error "not a lease of this fleet (header mismatch)"
+              else
+                match Checkpoint.unframe body with
+                | Error reason -> Error reason
+                | Ok payload -> (
+                    match decode payload with
+                    | None -> Error "undecodable lease payload"
+                    | Some t when t.shard <> shard ->
+                        Error
+                          (Printf.sprintf "lease names shard %d, not %d"
+                             t.shard shard)
+                    | Some t -> Ok t))))
+
+let expired ~now ~timeout t =
+  t.status = Running && now -. t.heartbeat > timeout

@@ -89,29 +89,49 @@ let trial_outcome t ~seed trial =
   go 0 []
 
 (* Cooperative interruption: a signal handler flips the flag; sweeps honor
-   it at batch boundaries, after the completed batch has been recorded. *)
+   it at batch boundaries, after the completed batch has been recorded.
+   The triggering signal is kept so the process can exit with the
+   signal-accurate conventional code (130 for SIGINT, 143 for SIGTERM). *)
 let stop_flag = Atomic.make false
-let request_stop () = Atomic.set stop_flag true
+let stop_signal_ = Atomic.make 0
+
+let request_stop ?signal () =
+  (match signal with Some s -> Atomic.set stop_signal_ s | None -> ());
+  Atomic.set stop_flag true
+
 let stop_requested () = Atomic.get stop_flag
-let reset_stop () = Atomic.set stop_flag false
+
+let stop_signal () =
+  match Atomic.get stop_signal_ with 0 -> None | s -> Some s
+
+let reset_stop () =
+  Atomic.set stop_flag false;
+  Atomic.set stop_signal_ 0
 
 exception Interrupted
 
 let run_outcomes ?(domains = 1) ?(seed = 2013) ?checkpoint ?(key = "")
-    ?incidents ~trials t =
+    ?incidents ?range ?on_batch ~trials t =
+  let lo, hi =
+    match range with
+    | None -> (0, trials)
+    | Some (lo, hi) ->
+        if lo < 0 || hi > trials || lo > hi then
+          invalid_arg "Runner.run_outcomes: range outside [0, trials]";
+        (lo, hi)
+  in
   let outcomes = Array.make trials None in
   (match checkpoint with
   | None -> ()
   | Some cp ->
       List.iter
         (fun (trial, outcome) ->
-          if trial >= 0 && trial < trials then
-            outcomes.(trial) <- Some outcome)
+          if trial >= lo && trial < hi then outcomes.(trial) <- Some outcome)
         (Checkpoint.completed cp ~key));
   let pending =
     List.filter
       (fun trial -> outcomes.(trial) = None)
-      (List.init trials (fun i -> i))
+      (List.init (hi - lo) (fun i -> lo + i))
   in
   (* Without a checkpoint, one fan-out over all trials (no bookkeeping on
      the hot path).  With one, work in batches so completed trials hit disk
@@ -179,12 +199,13 @@ let run_outcomes ?(domains = 1) ?(seed = 2013) ?checkpoint ?(key = "")
               if outcome.Stats.quarantined then
                 Incident_log.record log
                   (Incident_log.Quarantined { key; trial; outcome }))
-        batch captured)
+        batch captured;
+      match on_batch with None -> () | Some f -> f ())
     batches;
-  Array.to_list outcomes
-  |> List.map (function
-       | Some o -> o
-       | None -> assert false (* every index is completed or pending *))
+  List.init (hi - lo) (fun i ->
+      match outcomes.(lo + i) with
+      | Some o -> o
+      | None -> assert false (* every index is completed or pending *))
 
 let run ?domains ?seed ?checkpoint ?key ?incidents ~trials t =
   Stats.summarize_outcomes

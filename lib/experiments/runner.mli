@@ -65,13 +65,20 @@ val backoff_budget : float option -> attempt:int -> float option
     [Some (b *. 2. ** attempt)] — attempt 0 gets [b], attempt 1 gets
     [2b], attempt 2 gets [4b], … [None] stays [None]. *)
 
-val request_stop : unit -> unit
+val request_stop : ?signal:int -> unit -> unit
 (** Cooperative interruption (safe to call from a signal handler): sweeps
     honor the request at the next batch boundary — after the in-flight
     batch has been recorded to the checkpoint — by raising
-    {!Interrupted}. *)
+    {!Interrupted}.  [signal] (an OCaml signal number, e.g.
+    [Sys.sigint]) records what triggered the stop so the process can
+    exit with the signal-accurate conventional code. *)
 
 val stop_requested : unit -> bool
+
+val stop_signal : unit -> int option
+(** The signal passed to the most recent {!request_stop}, if any — lets
+    the CLI exit 130 on SIGINT and 143 on SIGTERM instead of one
+    catch-all code. *)
 
 val reset_stop : unit -> unit
 
@@ -86,6 +93,8 @@ val run_outcomes :
   ?checkpoint:Checkpoint.t ->
   ?key:string ->
   ?incidents:Incident_log.t ->
+  ?range:int * int ->
+  ?on_batch:(unit -> unit) ->
   trials:int ->
   spec ->
   Stats.outcome list
@@ -94,7 +103,16 @@ val run_outcomes :
     each freshly completed batch is recorded to it.  With [incidents],
     sentinel divergences, degraded trials and quarantined trials are
     appended to the incident log as they are observed.
-    @raise Interrupted at a batch boundary after {!request_stop}. *)
+
+    [range = (lo, hi)] restricts the run to trials [lo <= t < hi] of the
+    [trials]-trial batch and returns exactly those outcomes in order —
+    the fleet's shard primitive: trial RNG still derives from the batch
+    seed and the {e absolute} trial index, so sharded outcomes are
+    bit-identical to the same trials of an unsharded run.  [on_batch]
+    fires after every recorded batch (workers heartbeat their lease
+    there).
+    @raise Interrupted at a batch boundary after {!request_stop}.
+    @raise Invalid_argument if [range] is outside [0, trials]. *)
 
 val run :
   ?domains:int ->

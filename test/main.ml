@@ -1,4 +1,10 @@
-(* Aggregated test runner: `dune runtest`. *)
+(* Aggregated test runner: `dune runtest`.
+
+   The binary doubles as the fleet suite's worker subprocess: when invoked
+   with its child-mode flag it runs that mode and exits here, before
+   alcotest can object to the unknown arguments. *)
+let () = Suite_fleet.maybe_run_child ()
+
 let () =
   Alcotest.run "ncg-repro"
     [
@@ -13,4 +19,5 @@ let () =
       Suite_instances.suite;
       Suite_search.suite;
       Suite_experiments.suite;
+      Suite_fleet.suite;
     ]

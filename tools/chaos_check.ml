@@ -216,6 +216,184 @@ let sigkill_then_resume sim =
     (contains resumed "max steps / n");
   List.iter remove_quietly [ ck; out; err ]
 
+(* SIGTERM must mirror the SIGINT path with the signal-accurate code:
+   128+15 = 143, checkpoint flushed, resume hint printed. *)
+let sigterm_exits_143 sim =
+  print_endline "subprocess termination (SIGTERM):";
+  let prefix = temp_prefix "sigterm" in
+  let ck = prefix ^ ".ck" and out = prefix ^ ".out" and err = prefix ^ ".err" in
+  remove_quietly ck;
+  let pid =
+    spawn sim
+      [ "fig7"; "--ns"; "24"; "--trials"; "100000"; "--seed"; "3";
+        "--domains"; "2"; "--checkpoint"; ck ]
+      ~out ~err
+  in
+  check "a trial was checkpointed before the terminate"
+    (wait_for (fun () -> count_lines ck >= 2));
+  Unix.kill pid Sys.sigterm;
+  let _, status = Unix.waitpid [] pid in
+  check "terminated sweep exits 143" (status = Unix.WEXITED 143);
+  check "completed trials survive on disk" (count_lines ck >= 2);
+  check "stderr carries the resume hint"
+    (contains (read_file err) "Resume with:");
+  List.iter remove_quietly [ ck; out; err ]
+
+(* ------------------------------------------------------------------ *)
+(* Fleet soak: kill storms against the supervised worker fleet         *)
+(* ------------------------------------------------------------------ *)
+
+let remove_dir_quietly dir =
+  (match Sys.readdir dir with
+  | names ->
+      Array.iter (fun n -> remove_quietly (Filename.concat dir n)) names
+  | exception Sys_error _ -> ());
+  try Unix.rmdir dir with Unix.Unix_error _ -> ()
+
+(* What `summary: ...` line a correct fleet must print — computed in
+   process from the same pinned point, seed and trial count.  Bit-level
+   agreement of the formatted statistics is the acceptance bar. *)
+let reference_summary_line ~cmd ~n ~trials ~seed =
+  match Ncg_experiments.Fleet.point_spec cmd ~n with
+  | None -> failwith "unknown fleet point"
+  | Some point ->
+      Format.asprintf "%a" Stats.pp
+        (Ncg_experiments.Runner.run
+           ~domains:(Ncg_parallel.Pool.recommended_domains ())
+           ~seed ~trials point.Ncg_experiments.Fleet.spec)
+
+let running_worker_pids ~dir ~fingerprint ~shards =
+  List.filter_map
+    (fun s ->
+      match Ncg_experiments.Lease.load ~dir ~fingerprint ~shard:s with
+      | Ok l
+        when l.Ncg_experiments.Lease.status = Ncg_experiments.Lease.Running
+             && l.Ncg_experiments.Lease.owner > 0 ->
+          Some l.Ncg_experiments.Lease.owner
+      | _ -> None)
+    (List.init shards Fun.id)
+
+let kill_quietly ?(signal = Sys.sigkill) pid =
+  try Unix.kill pid signal with Unix.Unix_error _ -> ()
+
+(* The tentpole soak: a fleet under a storm of worker SIGKILLs must still
+   complete, reassign every murdered shard, log each death, and print the
+   exact statistics of an undisturbed single-process run. *)
+let fleet_kill_storm sim =
+  print_endline "fleet kill storm (SIGKILL random workers):";
+  let cmd = "fig11" and n = 40 and trials = 120 and seed = 17 in
+  let shards = 8 in
+  let prefix = temp_prefix "fleet_storm" in
+  let dir = prefix ^ ".d" in
+  let inc = prefix ^ ".jsonl" in
+  let out = prefix ^ ".out" and err = prefix ^ ".err" in
+  remove_dir_quietly dir;
+  remove_quietly inc;
+  let pid =
+    spawn sim
+      [ "fleet"; "--cmd"; cmd; "-n"; string_of_int n; "--trials";
+        string_of_int trials; "--seed"; string_of_int seed; "--workers"; "3";
+        "--shards"; string_of_int shards; "--dir"; dir; "--incidents"; inc;
+        "--max-respawns"; "12"; "--heartbeat-timeout"; "30" ]
+      ~out ~err
+  in
+  let fingerprint =
+    Ncg_experiments.Fleet.fingerprint ~cmd ~n ~trials ~seed
+  in
+  (* storm: kill up to 4 distinct workers while the fleet runs *)
+  let killed = Hashtbl.create 8 in
+  let status = ref None in
+  let supervisor_status () =
+    match !status with
+    | Some _ as s -> s
+    | None -> (
+        match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ -> None
+        | _, s ->
+            status := Some s;
+            !status
+        | exception Unix.Unix_error _ -> None)
+  in
+  while supervisor_status () = None && Hashtbl.length killed < 4 do
+    List.iter
+      (fun wpid ->
+        if Hashtbl.length killed < 4 && not (Hashtbl.mem killed wpid) then begin
+          Hashtbl.replace killed wpid ();
+          kill_quietly wpid
+        end)
+      (running_worker_pids ~dir ~fingerprint ~shards);
+    Unix.sleepf 0.05
+  done;
+  check "the storm killed at least one worker" (Hashtbl.length killed >= 1);
+  (match supervisor_status () with
+  | Some _ -> ()
+  | None ->
+      let _, s = Unix.waitpid [] pid in
+      status := Some s);
+  (* the fleet must have completed successfully despite the murders *)
+  let stdout_text = read_file out in
+  check "fleet under storm exits 0" (!status = Some (Unix.WEXITED 0));
+  check "fleet reports every trial present" (contains stdout_text "missing=0");
+  check "fleet reassigned the murdered shards"
+    (not (contains stdout_text "respawns=0 ")
+    && contains stdout_text "respawns=");
+  check "merged statistics are bit-identical to a single-process run"
+    (contains stdout_text
+       ("summary: " ^ reference_summary_line ~cmd ~n ~trials ~seed));
+  let incidents = read_file inc in
+  check "worker deaths were logged" (contains incidents "\"worker_dead\"");
+  check "reassignments were logged" (contains incidents "\"reassigned\"");
+  check "no shard was quarantined" (not (contains incidents "quarantined"));
+  remove_dir_quietly dir;
+  List.iter remove_quietly [ inc; out; err ]
+
+(* Heartbeat expiry: a worker that is alive but making no progress
+   (SIGSTOP — the kernel still reports it running) must be detected by
+   its missed heartbeats, killed, and its shard reassigned. *)
+let fleet_stall_detection sim =
+  print_endline "fleet stall detection (SIGSTOP a worker):";
+  let cmd = "fig11" and n = 40 and trials = 60 and seed = 23 in
+  let shards = 6 in
+  let prefix = temp_prefix "fleet_stall" in
+  let dir = prefix ^ ".d" in
+  let inc = prefix ^ ".jsonl" in
+  let out = prefix ^ ".out" and err = prefix ^ ".err" in
+  remove_dir_quietly dir;
+  remove_quietly inc;
+  let pid =
+    spawn sim
+      [ "fleet"; "--cmd"; cmd; "-n"; string_of_int n; "--trials";
+        string_of_int trials; "--seed"; string_of_int seed; "--workers"; "2";
+        "--shards"; string_of_int shards; "--dir"; dir; "--incidents"; inc;
+        "--max-respawns"; "6"; "--heartbeat-timeout"; "1.5";
+        "--heartbeat-interval"; "0.05" ]
+      ~out ~err
+  in
+  let fingerprint =
+    Ncg_experiments.Fleet.fingerprint ~cmd ~n ~trials ~seed
+  in
+  let stopped = ref None in
+  check "found a live worker to stall"
+    (wait_for ~timeout:30.0 (fun () ->
+         match running_worker_pids ~dir ~fingerprint ~shards with
+         | wpid :: _ ->
+             stopped := Some wpid;
+             kill_quietly ~signal:Sys.sigstop wpid;
+             true
+         | [] -> false));
+  let _, status = Unix.waitpid [] pid in
+  check "stalled fleet still exits 0" (status = Unix.WEXITED 0);
+  let stdout_text = read_file out in
+  check "every trial still present" (contains stdout_text "missing=0");
+  check "statistics survive the stall bit for bit"
+    (contains stdout_text
+       ("summary: " ^ reference_summary_line ~cmd ~n ~trials ~seed));
+  check "the missed heartbeat was logged"
+    (contains (read_file inc) "heartbeat");
+  (match !stopped with Some p -> kill_quietly p | None -> ());
+  remove_dir_quietly dir;
+  List.iter remove_quietly [ inc; out; err ]
+
 let sim_path () =
   let rec find = function
     | "--sim" :: path :: _ -> Some path
@@ -224,6 +402,8 @@ let sim_path () =
   in
   find (Array.to_list Sys.argv)
 
+let fleet_soak_requested () = Array.exists (( = ) "--fleet-soak") Sys.argv
+
 let () =
   fault_matrix ();
   engine_surfaces_violations ();
@@ -231,7 +411,15 @@ let () =
   (match sim_path () with
   | Some sim ->
       sigint_flushes_checkpoint sim;
-      sigkill_then_resume sim
+      sigterm_exits_143 sim;
+      sigkill_then_resume sim;
+      if fleet_soak_requested () then begin
+        fleet_kill_storm sim;
+        fleet_stall_detection sim
+      end
+      else
+        print_endline
+          "fleet soak skipped (pass --fleet-soak to run the kill storm)"
   | None ->
       print_endline
         "subprocess checks skipped (pass --sim path/to/ncg_sim.exe to run \
