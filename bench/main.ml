@@ -457,6 +457,132 @@ let fastpath scale =
       }
 
 (* ------------------------------------------------------------------ *)
+(* Incremental distance cache vs per-step tables                       *)
+(* ------------------------------------------------------------------ *)
+
+type incremental_report = {
+  inc_n : int;
+  inc_m : int;
+  inc_alpha : string;
+  inc_trials : int;
+  inc_plain : engine_sample;
+  inc_cached : engine_sample;
+  inc_stats : Distcache.stats;
+  inc_identical : bool;
+  inc_scaling : (int * float * float) list;  (* n, plain/s, cached/s *)
+}
+
+let incremental_report : incremental_report option ref = ref None
+
+let incremental_leg scale =
+  section
+    "Incremental cache vs per-step tables: SUM-GBG, m=4n, a=n/4, max cost";
+  (* Both sides are the *fast* engine; the only difference is whether the
+     distance tables survive across steps (kept/repaired by the cache) or
+     are recomputed from scratch each step.  Pinned at n=100 like the
+     fastpath leg; an n=300 row shows how the gap scales. *)
+  let bench n trials =
+    let m = 4 * n in
+    let alpha = Ncg_rational.Q.make n 4 in
+    let model = Model.make ~alpha Model.Gbg Model.Sum n in
+    let cfg incremental =
+      Engine.config ~policy:Policy.Max_cost ~tie_break:Engine.Prefer_deletion
+        ~incremental model
+    in
+    let rng seed = Random.State.make [| seed; 0xfa57 |] in
+    let time incremental =
+      let t0 = Unix.gettimeofday () in
+      let results =
+        List.init trials (fun i ->
+            let seed = scale.seed + i in
+            let g = Gen.random_m_edges (Random.State.make [| seed |]) n m in
+            Engine.run ~rng:(rng seed) (cfg incremental) g)
+      in
+      let wall = Unix.gettimeofday () -. t0 in
+      let steps =
+        List.fold_left (fun acc (r : Engine.result) -> acc + r.Engine.steps)
+          0 results
+      in
+      ({ wall_s = wall; steps }, results)
+    in
+    let plain, plain_runs = time false in
+    let cached, cached_runs = time true in
+    let identical =
+      List.for_all2
+        (fun (a : Engine.result) (b : Engine.result) ->
+          a.Engine.steps = b.Engine.steps
+          && a.Engine.reason = b.Engine.reason
+          && Graph.equal a.Engine.final b.Engine.final)
+        plain_runs cached_runs
+    in
+    let stats =
+      List.fold_left
+        (fun acc (r : Engine.result) ->
+          Distcache.
+            {
+              kept = acc.kept + r.Engine.cache.kept;
+              repaired = acc.repaired + r.Engine.cache.repaired;
+              rebuilt = acc.rebuilt + r.Engine.cache.rebuilt;
+              fills = acc.fills + r.Engine.cache.fills;
+            })
+        Distcache.zero_stats cached_runs
+    in
+    (plain, cached, stats, identical)
+  in
+  let per_s { wall_s; steps } =
+    if wall_s > 0.0 then float_of_int steps /. wall_s else 0.0
+  in
+  let n = 100 in
+  let trials = max 1 (min 3 scale.trials) in
+  let plain, cached, stats, identical = bench n trials in
+  let show label s =
+    Printf.printf "  %-22s %4d steps  %7.3f s  %8.0f steps/s\n" label s.steps
+      s.wall_s (per_s s)
+  in
+  show "per-step tables" plain;
+  show "incremental cache" cached;
+  Printf.printf "  cache: %d kept, %d repaired, %d rebuilt, %d fills\n"
+    stats.Distcache.kept stats.Distcache.repaired stats.Distcache.rebuilt
+    stats.Distcache.fills;
+  let speedup = if cached.wall_s > 0.0 then plain.wall_s /. cached.wall_s
+    else 0.0
+  in
+  Printf.printf "  speedup: %.2fx\n" speedup;
+  (* scaling row: the cache's edge grows with n (each avoided refill is a
+     whole BFS), so one n=300 point anchors the trend *)
+  let scaling =
+    List.map
+      (fun n ->
+        let plain, cached, _, ok = bench n 1 in
+        let row = (n, per_s plain, per_s cached) in
+        Printf.printf "  n=%-4d %8.0f -> %8.0f steps/s (%.2fx)%s\n" n
+          (per_s plain) (per_s cached)
+          (if plain.wall_s > 0.0 && cached.wall_s > 0.0 then
+             plain.wall_s /. cached.wall_s
+           else 0.0)
+          (if ok then "" else "  DIVERGED");
+        row)
+      [ 300 ]
+  in
+  check "identical trajectories with and without the cache" identical;
+  check "cache kept or repaired tables" (stats.Distcache.kept > 0);
+  check "incremental cache at least 1.5x over per-step tables"
+    (speedup >= 1.5);
+  incremental_report :=
+    Some
+      {
+        inc_n = n;
+        inc_m = 4 * n;
+        inc_alpha = Ncg_rational.Q.to_string (Ncg_rational.Q.make n 4);
+        inc_trials = trials;
+        inc_plain = plain;
+        inc_cached = cached;
+        inc_stats = stats;
+        inc_identical = identical;
+        inc_scaling = scaling;
+      }
+
+(* ------------------------------------------------------------------ *)
 (* Fleet vs single process                                             *)
 (* ------------------------------------------------------------------ *)
 
@@ -656,6 +782,48 @@ let write_json path ~scale ~timings =
             ("identical_trajectories", string_of_bool r.identical);
           ]
   in
+  let incremental_json =
+    match !incremental_report with
+    | None -> "null"
+    | Some r ->
+        Json.obj
+          [
+            ("game", Json.str "SUM-GBG");
+            ("policy", Json.str "max-cost");
+            ("tie_break", Json.str "prefer-deletion");
+            ("n", string_of_int r.inc_n);
+            ("m", string_of_int r.inc_m);
+            ("alpha", Json.str r.inc_alpha);
+            ("trials", string_of_int r.inc_trials);
+            ("per_step_tables", sample_json r.inc_plain);
+            ("incremental", sample_json r.inc_cached);
+            ( "speedup",
+              Json.num
+                (if r.inc_cached.wall_s > 0.0 then
+                   r.inc_plain.wall_s /. r.inc_cached.wall_s
+                 else 0.0) );
+            ( "cache",
+              Json.obj
+                [
+                  ("kept", string_of_int r.inc_stats.Distcache.kept);
+                  ("repaired", string_of_int r.inc_stats.Distcache.repaired);
+                  ("rebuilt", string_of_int r.inc_stats.Distcache.rebuilt);
+                  ("fills", string_of_int r.inc_stats.Distcache.fills);
+                ] );
+            ( "scaling",
+              Json.arr
+                (List.map
+                   (fun (n, plain_s, cached_s) ->
+                     Json.obj
+                       [
+                         ("n", string_of_int n);
+                         ("per_step_steps_per_s", Json.num plain_s);
+                         ("incremental_steps_per_s", Json.num cached_s);
+                       ])
+                   r.inc_scaling) );
+            ("identical_trajectories", string_of_bool r.inc_identical);
+          ]
+  in
   let fleet_json =
     match !fleet_report with
     | None -> "null"
@@ -703,6 +871,7 @@ let write_json path ~scale ~timings =
             ] );
         ("experiments", experiments);
         ("fastpath", fastpath_json);
+        ("incremental", incremental_json);
         ("fleet", fleet_json);
       ]
   in
@@ -716,8 +885,8 @@ let write_json path ~scale ~timings =
   write_to path;
   (* keep the per-PR trajectory: [path] is the rolling latest, the
      PR-stamped sibling is the archived snapshot of this change *)
-  let pr_snapshot = Filename.concat (Filename.dirname path) "BENCH_pr4.json" in
-  if Filename.basename path <> "BENCH_pr4.json" then write_to pr_snapshot
+  let pr_snapshot = Filename.concat (Filename.dirname path) "BENCH_pr5.json" in
+  if Filename.basename path <> "BENCH_pr5.json" then write_to pr_snapshot
 
 (* ------------------------------------------------------------------ *)
 (* Registry and CLI                                                    *)
@@ -750,6 +919,9 @@ let experiments : (string * string * (scale -> unit)) list =
     ("nocycle", "random-instance cycle hunt (Secs. 3.4/4.2)", nocycle);
     ("micro", "Bechamel micro-benchmarks", micro);
     ("fastpath", "fast engine vs reference oracle (SUM-GBG n=100)", fastpath);
+    ( "incremental",
+      "incremental cache vs per-step tables (SUM-GBG n=100/300)",
+      incremental_leg );
     ("fleet", "fleet vs single process (supervision overhead)", fleet_leg);
   ]
 

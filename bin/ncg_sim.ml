@@ -199,9 +199,31 @@ let value_term =
   let stat = Arg.enum [ ("avg", `Avg); ("max", `Max) ] in
   Arg.(value & opt stat `Avg & info [ "value" ] ~doc)
 
-let emit out value curves =
+let verbose_term =
+  let doc =
+    "Also report engine internals after the sweep: the cross-step distance \
+     cache's kept/repaired/rebuilt/filled table counters, aggregated over \
+     every run (and worker domain) of this process."
+  in
+  Arg.(value & flag & info [ "verbose" ] ~doc)
+
+let emit ?(verbose = false) out value curves =
   print_string (Series.to_table ~value curves);
   Printf.printf "max steps / n over all runs: %.2f\n" (Series.max_over curves);
+  if verbose then begin
+    let s = Distcache.totals () in
+    let touched = s.Distcache.kept + s.Distcache.repaired
+      + s.Distcache.rebuilt
+    in
+    Printf.printf
+      "distance cache: %d kept, %d repaired, %d rebuilt, %d filled\n"
+      s.Distcache.kept s.Distcache.repaired s.Distcache.rebuilt
+      s.Distcache.fills;
+    if touched > 0 then
+      Printf.printf
+        "  %.1f%% of patched tables kept without recomputation\n"
+        (100.0 *. float_of_int s.Distcache.kept /. float_of_int touched)
+  end;
   match out with
   | None -> ()
   | Some path ->
@@ -216,11 +238,11 @@ let sweep_term cmd_name run =
     const run $ ns_term $ trials_term $ seed_term $ domains_term $ out_term
     $ value_term
     $ checkpoint_term $ resume_term $ sentinel_term $ retries_term
-    $ incidents_term $ cmd_term)
+    $ incidents_term $ verbose_term $ cmd_term)
 
 let asg_cmd name dist_sel figure =
   let run ns trials seed domains out value checkpoint resume sentinel
-      max_retries incidents cmd =
+      max_retries incidents verbose cmd =
     interruptible ~resume_hint:(checkpoint_hint checkpoint) (fun () ->
         with_checkpoint ~cmd ~ns ~trials ~seed ~checkpoint ~resume (fun cp ->
             with_incidents incidents (fun log ->
@@ -233,7 +255,7 @@ let asg_cmd name dist_sel figure =
                     max_retries;
                     incidents = log }
                 in
-                emit out value (Asg_budget.sweep p))))
+                emit ~verbose out value (Asg_budget.sweep p))))
   in
   let doc =
     Printf.sprintf "Reproduce %s: bounded-budget ASG convergence." figure
@@ -242,7 +264,7 @@ let asg_cmd name dist_sel figure =
 
 let gbg_cmd name dist_sel figure =
   let run ns trials seed domains out value checkpoint resume sentinel
-      max_retries incidents cmd =
+      max_retries incidents verbose cmd =
     interruptible ~resume_hint:(checkpoint_hint checkpoint) (fun () ->
         with_checkpoint ~cmd ~ns ~trials ~seed ~checkpoint ~resume (fun cp ->
             with_incidents incidents (fun log ->
@@ -255,14 +277,14 @@ let gbg_cmd name dist_sel figure =
                     max_retries;
                     incidents = log }
                 in
-                emit out value (Gbg_sweep.sweep p))))
+                emit ~verbose out value (Gbg_sweep.sweep p))))
   in
   let doc = Printf.sprintf "Reproduce %s: GBG convergence sweep." figure in
   Cmd.v (Cmd.info name ~doc) (sweep_term name run)
 
 let topo_cmd name dist_sel figure =
   let run ns trials seed domains out value checkpoint resume sentinel
-      max_retries incidents cmd =
+      max_retries incidents verbose cmd =
     interruptible ~resume_hint:(checkpoint_hint checkpoint) (fun () ->
         with_checkpoint ~cmd ~ns ~trials ~seed ~checkpoint ~resume (fun cp ->
             with_incidents incidents (fun log ->
@@ -275,7 +297,7 @@ let topo_cmd name dist_sel figure =
                     max_retries;
                     incidents = log }
                 in
-                emit out value (Topology.sweep p))))
+                emit ~verbose out value (Topology.sweep p))))
   in
   let doc =
     Printf.sprintf "Reproduce %s: GBG starting-topology comparison." figure

@@ -14,19 +14,21 @@ type config = {
   sentinel : Sentinel.level;
   time_budget : float option;
   scan_domains : int;
+  incremental : bool;
 }
 
 let config ?(policy = Policy.Max_cost) ?(move_rule = Best_response)
     ?(tie_break = Uniform) ?max_steps ?(detect_cycles = false)
     ?(record_history = true) ?(audit = Audit.Off)
-    ?(sentinel = Sentinel.Off) ?time_budget ?(scan_domains = 1) model =
+    ?(sentinel = Sentinel.Off) ?time_budget ?(scan_domains = 1)
+    ?(incremental = true) model =
   let max_steps =
     match max_steps with
     | Some s -> s
     | None -> (100 * Model.n model) + 1000
   in
   { model; policy; move_rule; tie_break; max_steps; detect_cycles;
-    record_history; audit; sentinel; time_budget; scan_domains }
+    record_history; audit; sentinel; time_budget; scan_domains; incremental }
 
 type step = {
   index : int;
@@ -49,6 +51,7 @@ type result = {
   history : step list;
   final : Graph.t;
   sentinel : Sentinel.report;
+  cache : Distcache.stats;
 }
 
 let kind_rank = function
@@ -112,6 +115,12 @@ let run ?rng cfg initial =
   let g = Graph.copy initial in
   let ws = Paths.Workspace.create (Graph.n g) in
   let witness = Witness.create (Graph.n g) in
+  (* The cross-step distance cache: owned here, patched after every
+     committed move, handed to each step's context.  [None] reverts to the
+     step-scoped tables of the pre-incremental fast path. *)
+  let cache =
+    if cfg.incremental then Some (Distcache.create (Graph.n g)) else None
+  in
   let seen : (string, int) Hashtbl.t = Hashtbl.create 64 in
   if cfg.detect_cycles then Hashtbl.replace seen (state_key cfg.model g) 0;
   let history = ref [] in
@@ -177,7 +186,19 @@ let run ?rng cfg initial =
     match contract with
     | Some v -> (Invariant_violation v, step)
     | None -> (
-        ignore (Move.apply g e.Response.move);
+        (match cache with
+        | Some c ->
+            (* Patch the cache primitive by primitive: each note_* sees the
+               graph exactly after its primitive, against the tables from
+               before it — the state the keep/repair rules assume.  The
+               patch also bumps the version counters that expire witness
+               skip certificates depending on what changed. *)
+            ignore
+              (Move.apply_observed g e.Response.move ~on_prim:(fun p ->
+                   match p with
+                   | Move.Added (a, b) -> Distcache.note_added c g a b
+                   | Move.Removed (a, b, _) -> Distcache.note_removed c g a b))
+        | None -> ignore (Move.apply g e.Response.move));
         Witness.clear witness u;
         if cfg.record_history then
           history :=
@@ -213,10 +234,16 @@ let run ?rng cfg initial =
     if step >= cfg.max_steps then (Step_limit, step)
     else if out_of_time () then (Time_limit, step)
     else
-      (* One distance-table context per step: tables describe the current
-         network and every applied move invalidates them wholesale.  The
-         witness cache survives across steps — probes revalidate. *)
-      let ctx = Response.Fast.create ws cfg.model g in
+      (* One context per step.  With the incremental cache it inherits all
+         tables that survived (were kept or repaired by) the previous
+         step's patch; without, tables describe the current network only
+         for this step and are discarded wholesale.  The witness cache
+         survives across steps either way — probes revalidate. *)
+      let ctx =
+        match cache with
+        | Some c -> Response.Fast.of_cache ws cfg.model g c
+        | None -> Response.Fast.create ws cfg.model g
+      in
       let checking = Sentinel.due cfg.sentinel srng in
       let snap =
         if checking && Sentinel.shadows_selection cfg.policy then
@@ -312,7 +339,22 @@ let run ?rng cfg initial =
       degraded_at = !degraded_at;
     }
   in
-  { reason; steps; history = List.rev !history; final = g; sentinel }
+  let cache_stats =
+    match cache with
+    | Some c ->
+        let s = Distcache.stats c in
+        Distcache.add_to_totals s;
+        s
+    | None -> Distcache.zero_stats
+  in
+  {
+    reason;
+    steps;
+    history = List.rev !history;
+    final = g;
+    sentinel;
+    cache = cache_stats;
+  }
 
 let converged r = match r.reason with
   | Converged -> true

@@ -57,6 +57,12 @@ type config = {
           cost BFS out over each step; [1] keeps everything on the calling
           domain.  Any value produces the identical trajectory — this is a
           throughput knob only. *)
+  incremental : bool;
+      (** keep one {!Distcache} alive across steps, patched after every
+          committed move, instead of refilling all distance tables each
+          step.  Either value produces the identical trajectory — the cache
+          changes when distances are computed, never their values (see
+          DESIGN.md §12).  [false] reverts to the step-scoped tables. *)
 }
 
 val config :
@@ -70,11 +76,12 @@ val config :
   ?sentinel:Sentinel.level ->
   ?time_budget:float ->
   ?scan_domains:int ->
+  ?incremental:bool ->
   Model.t ->
   config
 (** Defaults: max-cost policy, best response, uniform ties, [100 * n + 1000]
     steps, cycle detection off, history on, audit off, sentinel off, no time
-    budget, one scan domain. *)
+    budget, one scan domain, incremental cache on. *)
 
 type step = {
   index : int;  (** 0-based position in the run *)
@@ -103,6 +110,10 @@ type result = {
   sentinel : Sentinel.report;
       (** shadow-verification outcome; {!Sentinel.clean_report} whenever
           the sentinel is off or no checked step diverged *)
+  cache : Distcache.stats;
+      (** incremental distance-cache decisions over the whole run
+          (kept/repaired/rebuilt tables and fresh fills);
+          {!Distcache.zero_stats} when [incremental] is off *)
 }
 
 val run : ?rng:Random.State.t -> config -> Graph.t -> result

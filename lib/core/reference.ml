@@ -143,4 +143,5 @@ let run ?rng (cfg : Engine.config) initial =
     steps;
     history = List.rev !history;
     final = g;
-    sentinel = Sentinel.clean_report }
+    sentinel = Sentinel.clean_report;
+    cache = Distcache.zero_stats }

@@ -34,7 +34,18 @@ val clear : t -> int -> unit
     applied move consumed it. *)
 
 val hits : t -> int
-(** Probes answered by re-verifying the cached witness alone. *)
+(** Probes answered through the cached witness alone (including
+    certificate skips). *)
 
 val scans : t -> int
 (** Probes that needed a full candidate scan. *)
+
+val skips : t -> int
+(** Probes answered with zero evaluations by a still-valid skip
+    certificate — a subset of {!hits}.  A certificate pins the identity of
+    the {!Distcache} that served a verified Buy verdict together with the
+    version counters of everything the verdict read (both distance tables
+    and the mover's incidence); it self-expires as soon as any of them
+    changes, or when the probing context is backed by a different cache.
+    Only the engine's persistent cross-step cache can keep certificates
+    alive across moves — and it bumps the versions as it patches. *)

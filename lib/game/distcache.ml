@@ -1,0 +1,371 @@
+(* Cross-step cache of single-source distance tables, patched after every
+   applied move instead of being rebuilt.
+
+   Invariant: whenever [tables.(v) = Some d], [d.(x)] is the exact BFS
+   distance from [v] to [x] in the *current* graph ([-1] = unreachable).
+   The engine calls [note_added]/[note_removed] immediately after each
+   primitive edge change of a committed move; each call either proves the
+   table unchanged (keep), repairs the changed region with a
+   frontier-bounded incremental BFS, or falls back to a fresh scan when the
+   affected set exceeds a threshold.  The cache therefore changes *when*
+   distances are computed — never their values — which is what keeps the
+   fast engine byte-identical to the reference.
+
+   Keep rules (table [d] = distances from source [v], pre-primitive):
+
+   - insert (a,b): with both endpoints reachable and |d(a) - d(b)| <= 1 the
+     new edge joins adjacent-or-equal BFS levels, so no path improves; with
+     both unreachable, the edge lies outside v's component entirely.
+   - delete (a,b): with d(a) = d(b) the edge connects equals, hence lies on
+     no shortest-path DAG; with both unreachable it was outside v's
+     component.
+   - delete fast-keep: let b be the far endpoint, d(b) = d(a) + 1.  If b
+     retains another neighbor w with d(w) = d(b) - 1 the whole table is
+     unchanged: any shortest path using {a,b} traverses it from level d(a)
+     to level d(b) and can be rerouted through w (whose own shortest path
+     cannot use {a,b}, since shortest paths visit strictly increasing
+     levels and that edge joins levels d(a)/d(b) — it would have to be its
+     final edge, making it b).
+
+   Repairs:
+
+   - insert: only the far side can improve; a decrease-only BFS seeded with
+     d(near) + 1 at the far endpoint touches exactly the improved region
+     (each vertex enqueues at most once — queue values are nondecreasing,
+     so the first improvement is final).
+   - delete: compute the affected set level-by-level ("Ramalingam–Reps"
+     style): a candidate at level L is affected iff it has no neighbor at
+     level L - 1 that survived; candidates of the next level are the
+     affected's neighbors at L + 1.  Processing strictly by level makes
+     every parent's verdict final before its children ask.  Affected
+     vertices are then recomputed by a multi-source Dial scan seeded from
+     their non-affected neighbors (no seed anywhere = the deletion
+     disconnected them: -1).  If the affected set outgrows [threshold], the
+     level structure is degenerating and a fresh BFS is cheaper. *)
+
+type stats = { kept : int; repaired : int; rebuilt : int; fills : int }
+
+let zero_stats = { kept = 0; repaired = 0; rebuilt = 0; fills = 0 }
+
+type t = {
+  n : int;
+  threshold : int;
+  tables : int array option array;
+  profiles : Paths.profile option array;
+      (* cached per-source profile of tables.(v); invalidated on change *)
+  table_ver : int array;
+      (* bumped whenever source v's table is installed, repaired or
+         rebuilt; never on a keep.  Witness certificates pin these. *)
+  touch_ver : int array;
+      (* bumped for both endpoints of every noted primitive — the
+         incidence of a vertex can only change through such a primitive *)
+  mutable kept : int;
+  mutable repaired : int;
+  mutable rebuilt : int;
+  mutable fills : int;
+  (* scratch, reused across repairs *)
+  queue : int array;
+  mutable wave : int array;
+  mutable wnext : int array;
+  cand : int array; (* stamps: candidate-seen marker *)
+  aff : int array; (* stamps: affected marker *)
+  mutable stamp : int;
+}
+
+let create ?threshold n =
+  if n < 0 then invalid_arg "Distcache.create: negative size";
+  let threshold =
+    match threshold with
+    | Some t -> if t < 0 then invalid_arg "Distcache.create: threshold" else t
+    | None -> max 16 (n / 4)
+  in
+  let mk x = Array.make (max 1 n) x in
+  {
+    n;
+    threshold;
+    tables = Array.make (max 1 n) None;
+    profiles = Array.make (max 1 n) None;
+    table_ver = mk 0;
+    touch_ver = mk 0;
+    kept = 0;
+    repaired = 0;
+    rebuilt = 0;
+    fills = 0;
+    queue = mk 0;
+    wave = mk 0;
+    wnext = mk 0;
+    cand = mk 0;
+    aff = mk 0;
+    stamp = 0;
+  }
+
+let n t = t.n
+let threshold t = t.threshold
+let get t v = t.tables.(v)
+
+let set t v d =
+  if Array.length d <> t.n then invalid_arg "Distcache.set: table size";
+  t.fills <- t.fills + 1;
+  t.tables.(v) <- Some d;
+  t.profiles.(v) <- None;
+  t.table_ver.(v) <- t.table_ver.(v) + 1
+
+let table_version t v = t.table_ver.(v)
+let touch_version t v = t.touch_ver.(v)
+
+let stats t =
+  { kept = t.kept; repaired = t.repaired; rebuilt = t.rebuilt; fills = t.fills }
+
+let profile t v =
+  match t.profiles.(v) with
+  | Some p -> p
+  | None -> (
+      match t.tables.(v) with
+      | None -> invalid_arg "Distcache.profile: no table"
+      | Some dist ->
+          let reached = ref 0 and sum = ref 0 and ecc = ref 0 in
+          Array.iter
+            (fun d ->
+              if d >= 0 then begin
+                incr reached;
+                sum := !sum + d;
+                if d > !ecc then ecc := d
+              end)
+            dist;
+          let p = { Paths.reached = !reached; sum = !sum; ecc = !ecc } in
+          t.profiles.(v) <- Some p;
+          p)
+
+let mark_changed t v =
+  t.profiles.(v) <- None;
+  t.table_ver.(v) <- t.table_ver.(v) + 1
+
+(* Fresh BFS from [v] into the existing array [d] — the fallback path. *)
+let rebuild t csr v d =
+  let off = Csr.offsets csr and tg = Csr.targets csr in
+  Array.fill d 0 t.n (-1);
+  d.(v) <- 0;
+  t.queue.(0) <- v;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let u = t.queue.(!head) in
+    incr head;
+    let du = d.(u) in
+    for i = off.(u) to off.(u + 1) - 1 do
+      let w = tg.(i) in
+      if d.(w) < 0 then begin
+        d.(w) <- du + 1;
+        t.queue.(!tail) <- w;
+        incr tail
+      end
+    done
+  done;
+  t.rebuilt <- t.rebuilt + 1;
+  mark_changed t v
+
+(* Decrease-only BFS: the inserted edge gives [seed] the new distance
+   [seed_dist]; improvements propagate outward in nondecreasing order, so
+   each vertex is enqueued at most once and only the improved region is
+   touched. *)
+let repair_insert t csr v d seed seed_dist =
+  let off = Csr.offsets csr and tg = Csr.targets csr in
+  d.(seed) <- seed_dist;
+  t.queue.(0) <- seed;
+  let head = ref 0 and tail = ref 1 in
+  while !head < !tail do
+    let u = t.queue.(!head) in
+    incr head;
+    let du = d.(u) in
+    for i = off.(u) to off.(u + 1) - 1 do
+      let w = tg.(i) in
+      if d.(w) < 0 || d.(w) > du + 1 then begin
+        d.(w) <- du + 1;
+        t.queue.(!tail) <- w;
+        incr tail
+      end
+    done
+  done;
+  t.repaired <- t.repaired + 1;
+  mark_changed t v
+
+exception Too_many_affected
+
+(* Affected-set computation and recomputation for a deletion whose far
+   endpoint [far] (old level d.(far)) lost its last surviving parent. *)
+let repair_delete t csr v d far =
+  let off = Csr.offsets csr and tg = Csr.targets csr in
+  t.stamp <- t.stamp + 1;
+  let stamp = t.stamp in
+  let cand = t.cand and aff = t.aff in
+  let aff_count = ref 0 in
+  (try
+     t.wave.(0) <- far;
+     cand.(far) <- stamp;
+     let wc = ref 1 in
+     let level = ref d.(far) in
+     let wave = ref t.wave and next = ref t.wnext in
+     while !wc > 0 do
+       let nc = ref 0 in
+       let w = !wave and nx = !next in
+       for k = 0 to !wc - 1 do
+         let x = w.(k) in
+         (* survivor iff some neighbor one level down kept its distance;
+            level [!level - 1] verdicts are final by the level ordering *)
+         let survives = ref false in
+         let i = ref off.(x) in
+         let row_end = off.(x + 1) in
+         while (not !survives) && !i < row_end do
+           let y = tg.(!i) in
+           incr i;
+           if d.(y) = !level - 1 && aff.(y) <> stamp then survives := true
+         done;
+         if not !survives then begin
+           aff.(x) <- stamp;
+           t.queue.(!aff_count) <- x;
+           incr aff_count;
+           if !aff_count > t.threshold then raise Too_many_affected;
+           for i = off.(x) to off.(x + 1) - 1 do
+             let y = tg.(i) in
+             if d.(y) = !level + 1 && cand.(y) <> stamp then begin
+               cand.(y) <- stamp;
+               nx.(!nc) <- y;
+               incr nc
+             end
+           done
+         end
+       done;
+       let tmp = !wave in
+       wave := !next;
+       next := tmp;
+       wc := !nc;
+       incr level
+     done;
+     t.wave <- !wave;
+     t.wnext <- !next;
+     (* Recompute the affected region: Dial's algorithm seeded from each
+        affected vertex's best non-affected neighbor.  Unaffected distances
+        are already final; affected vertices never seeded and never relaxed
+        are disconnected. *)
+     let buckets = Array.make (t.n + 2) [] in
+     let maxb = t.n + 1 in
+     for k = 0 to !aff_count - 1 do
+       let x = t.queue.(k) in
+       let best = ref max_int in
+       for i = off.(x) to off.(x + 1) - 1 do
+         let y = tg.(i) in
+         if aff.(y) <> stamp && d.(y) >= 0 && d.(y) + 1 < !best then
+           best := d.(y) + 1
+       done;
+       if !best <= maxb then begin
+         d.(x) <- !best;
+         buckets.(!best) <- x :: buckets.(!best)
+       end
+       else d.(x) <- -1
+     done;
+     for s = 0 to maxb do
+       List.iter
+         (fun x ->
+           if d.(x) = s then
+             for i = off.(x) to off.(x + 1) - 1 do
+               let y = tg.(i) in
+               if
+                 aff.(y) = stamp
+                 && (d.(y) < 0 || d.(y) > s + 1)
+                 && s + 1 <= maxb
+               then begin
+                 d.(y) <- s + 1;
+                 buckets.(s + 1) <- y :: buckets.(s + 1)
+               end
+             done)
+         buckets.(s)
+     done;
+     t.repaired <- t.repaired + 1;
+     mark_changed t v
+   with Too_many_affected -> rebuild t csr v d)
+
+let note_added t g a b =
+  if Graph.n g <> t.n then invalid_arg "Distcache.note_added: size mismatch";
+  t.touch_ver.(a) <- t.touch_ver.(a) + 1;
+  t.touch_ver.(b) <- t.touch_ver.(b) + 1;
+  let csr = Graph.csr g in
+  for v = 0 to t.n - 1 do
+    match t.tables.(v) with
+    | None -> ()
+    | Some d ->
+        let da = d.(a) and db = d.(b) in
+        if da < 0 && db < 0 then t.kept <- t.kept + 1
+        else if da >= 0 && db >= 0 && abs (da - db) <= 1 then
+          t.kept <- t.kept + 1
+        else begin
+          (* far side strictly improves through the new edge *)
+          let near_d, far =
+            if db < 0 then (da, b)
+            else if da < 0 then (db, a)
+            else if da <= db then (da, b)
+            else (db, a)
+          in
+          repair_insert t csr v d far (near_d + 1)
+        end
+  done
+
+let note_removed t g a b =
+  if Graph.n g <> t.n then invalid_arg "Distcache.note_removed: size mismatch";
+  t.touch_ver.(a) <- t.touch_ver.(a) + 1;
+  t.touch_ver.(b) <- t.touch_ver.(b) + 1;
+  let csr = Graph.csr g in
+  for v = 0 to t.n - 1 do
+    match t.tables.(v) with
+    | None -> ()
+    | Some d ->
+        let da = d.(a) and db = d.(b) in
+        if da < 0 && db < 0 then t.kept <- t.kept + 1
+        else if da = db then t.kept <- t.kept + 1
+        else if da < 0 || db < 0 then
+          (* impossible for a well-formed pre-delete state (the edge made
+             the endpoints' levels differ by at most one); be safe under
+             fault injection *)
+          rebuild t csr v d
+        else begin
+          let far = if da < db then b else a in
+          let fd = d.(far) in
+          (* fast-keep: another parent survives at the far level - 1 *)
+          let off = Csr.offsets csr and tg = Csr.targets csr in
+          let has_parent = ref false in
+          let i = ref off.(far) in
+          let row_end = off.(far + 1) in
+          while (not !has_parent) && !i < row_end do
+            if d.(tg.(!i)) = fd - 1 then has_parent := true;
+            incr i
+          done;
+          if !has_parent then t.kept <- t.kept + 1
+          else repair_delete t csr v d far
+        end
+  done
+
+(* Process-wide totals, aggregated across engine runs (and, in sweeps,
+   across the domains of one process) for [ncg_sim --verbose]. *)
+
+let g_kept = Atomic.make 0
+let g_repaired = Atomic.make 0
+let g_rebuilt = Atomic.make 0
+let g_fills = Atomic.make 0
+
+let add_to_totals (s : stats) =
+  ignore (Atomic.fetch_and_add g_kept s.kept);
+  ignore (Atomic.fetch_and_add g_repaired s.repaired);
+  ignore (Atomic.fetch_and_add g_rebuilt s.rebuilt);
+  ignore (Atomic.fetch_and_add g_fills s.fills)
+
+let totals () =
+  {
+    kept = Atomic.get g_kept;
+    repaired = Atomic.get g_repaired;
+    rebuilt = Atomic.get g_rebuilt;
+    fills = Atomic.get g_fills;
+  }
+
+let reset_totals () =
+  Atomic.set g_kept 0;
+  Atomic.set g_repaired 0;
+  Atomic.set g_rebuilt 0;
+  Atomic.set g_fills 0

@@ -1,0 +1,73 @@
+(** Cross-step incremental cache of single-source distance tables.
+
+    Owned by the engine and kept alive across steps: after each primitive
+    edge change of a {e committed} move, {!note_added}/{!note_removed}
+    either prove a cached table unchanged (keep), repair the changed region
+    with a frontier-bounded incremental BFS, or fall back to a fresh scan
+    when the affected set exceeds the threshold.  Tables always hold the
+    exact BFS distances of the current graph — the cache changes {e when}
+    distances are computed, never their values, so trajectories stay
+    byte-identical to the reference engine.  See DESIGN.md §12 for the keep
+    rules and the repair algorithms.
+
+    Patch calls must see the graph {e after} exactly the primitive being
+    noted (and the tables from before it) — the engine drives them from
+    {!Move.apply_observed}.  Transient candidate evaluations never touch
+    the cache. *)
+
+type t
+
+type stats = { kept : int; repaired : int; rebuilt : int; fills : int }
+(** Per-table decisions: [kept] tables proved unchanged, [repaired]
+    incrementally patched, [rebuilt] refreshed by a full BFS fallback,
+    [fills] installed from scratch via {!set}. *)
+
+val zero_stats : stats
+
+val create : ?threshold:int -> int -> t
+(** [create n] caches up to [n] source tables.  [threshold] bounds the
+    affected set a deletion repair may process before falling back to a
+    fresh BFS (default [max 16 (n / 4)]). *)
+
+val n : t -> int
+val threshold : t -> int
+
+val get : t -> int -> int array option
+(** The cached table of source [v] — exact for the current graph.  The
+    array is owned by the cache: callers must not mutate it. *)
+
+val set : t -> int -> int array -> unit
+(** Install a freshly computed table (the cache takes ownership). *)
+
+val profile : t -> int -> Paths.profile
+(** Profile of source [v]'s table, cached until the table changes — turns
+    the per-step all-agents cost scan into O(n) when tables survive.
+    @raise Invalid_argument if [v] has no table. *)
+
+val table_version : t -> int -> int
+(** Monotone counter, bumped whenever source [v]'s table is installed,
+    repaired or rebuilt — never on a keep.  A consumer that recorded the
+    version can later prove the table it read is still byte-identical. *)
+
+val touch_version : t -> int -> int
+(** Monotone counter, bumped for both endpoints of every noted primitive.
+    An unchanged value proves vertex [v]'s incident edges (and hence its
+    degrees) are untouched since the recording. *)
+
+val note_added : t -> Graph.t -> int -> int -> unit
+(** [note_added t g a b]: the edge [{a, b}] was just inserted into [g];
+    patch every cached table. *)
+
+val note_removed : t -> Graph.t -> int -> int -> unit
+(** [note_removed t g a b]: the edge [{a, b}] was just removed from [g]. *)
+
+val stats : t -> stats
+
+(** {2 Process-wide totals}
+
+    Aggregated across runs (and worker domains) so [ncg_sim --verbose] can
+    report cache behavior for a whole sweep. *)
+
+val add_to_totals : stats -> unit
+val totals : unit -> stats
+val reset_totals : unit -> unit

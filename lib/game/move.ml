@@ -18,16 +18,27 @@ let agent = function
   | Set_neighbors { agent; _ } ->
       agent
 
-let remove_recorded g u v prims =
+(* The [on_prim] observer fires immediately after each primitive hits the
+   graph, so it always sees the graph in the state produced by exactly that
+   primitive — the contract the incremental distance cache's patch rules
+   need (pre-primitive tables, post-primitive adjacency). *)
+
+let remove_recorded g on_prim u v prims =
   let o = Graph.owner g u v in
   Graph.remove_edge g u v;
-  Removed (u, v, o) :: prims
+  let p = Removed (u, v, o) in
+  on_prim p;
+  p :: prims
 
-let add_recorded g ~owner u v prims =
+let add_recorded g on_prim ~owner u v prims =
   Graph.add_edge g ~owner u v;
-  Added (u, v) :: prims
+  let p = Added (u, v) in
+  on_prim p;
+  p :: prims
 
-let apply g move =
+let apply_observed g ~on_prim move =
+  let remove_recorded u v prims = remove_recorded g on_prim u v prims in
+  let add_recorded ~owner u v prims = add_recorded g on_prim ~owner u v prims in
   match move with
   | Swap { agent; remove; add } ->
       if not (Graph.has_edge g agent remove) then
@@ -35,24 +46,23 @@ let apply g move =
       if Graph.has_edge g agent add then
         invalid_arg "Move.apply: swap onto existing edge";
       if add = agent then invalid_arg "Move.apply: swap onto self";
-      let prims = remove_recorded g agent remove [] in
-      add_recorded g ~owner:agent agent add prims
+      let prims = remove_recorded agent remove [] in
+      add_recorded ~owner:agent agent add prims
   | Buy { agent; target } ->
       if Graph.has_edge g agent target then
         invalid_arg "Move.apply: buying existing edge";
       if target = agent then invalid_arg "Move.apply: buying self-loop";
-      add_recorded g ~owner:agent agent target []
+      add_recorded ~owner:agent agent target []
   | Delete { agent; target } ->
       if not (Graph.has_edge g agent target) then
         invalid_arg "Move.apply: deleting absent edge";
-      remove_recorded g agent target []
+      remove_recorded agent target []
   | Set_own_edges { agent; targets } ->
       let old = Graph.owned_neighbors g agent in
       let prims =
         List.fold_left
           (fun prims v ->
-            if List.mem v targets then prims
-            else remove_recorded g agent v prims)
+            if List.mem v targets then prims else remove_recorded agent v prims)
           [] old
       in
       List.fold_left
@@ -62,7 +72,7 @@ let apply g move =
             if Graph.has_edge g agent v then
               invalid_arg "Move.apply: strategy buys an edge owned elsewhere";
             if v = agent then invalid_arg "Move.apply: strategy buys self";
-            add_recorded g ~owner:agent agent v prims
+            add_recorded ~owner:agent agent v prims
           end)
         prims targets
   | Set_neighbors { agent; targets } ->
@@ -70,8 +80,7 @@ let apply g move =
       let prims =
         List.fold_left
           (fun prims v ->
-            if List.mem v targets then prims
-            else remove_recorded g agent v prims)
+            if List.mem v targets then prims else remove_recorded agent v prims)
           [] old
       in
       List.fold_left
@@ -80,9 +89,11 @@ let apply g move =
           else begin
             if v = agent then invalid_arg "Move.apply: strategy buys self";
             (* Bilateral networks ignore ownership; pick a convention. *)
-            add_recorded g ~owner:(min agent v) agent v prims
+            add_recorded ~owner:(min agent v) agent v prims
           end)
         prims targets
+
+let apply g move = apply_observed g ~on_prim:(fun _ -> ()) move
 
 let undo g prims =
   List.iter

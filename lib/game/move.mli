@@ -26,12 +26,23 @@ type t =
 
 type undo
 
+type prim = Added of int * int | Removed of int * int * int
+(** The reversible single-edge primitives a move decomposes into, in
+    application order.  [Removed] carries the former owner. *)
+
 val agent : t -> int
 (** The moving agent. *)
 
 val apply : Graph.t -> t -> undo
 (** Mutates the graph.  @raise Invalid_argument if the move is structurally
     impossible (e.g. swapping an absent edge or buying an existing one). *)
+
+val apply_observed : Graph.t -> on_prim:(prim -> unit) -> t -> undo
+(** Like {!apply}, but calls [on_prim] immediately after each primitive is
+    applied to the graph — at that moment the graph reflects exactly the
+    primitives seen so far.  The incremental distance cache patches its
+    tables from this hook: each patch sees pre-primitive tables against
+    post-primitive adjacency, which is what its keep/repair rules assume. *)
 
 val undo : Graph.t -> undo -> unit
 (** Restores the exact previous state, including edge ownership. *)

@@ -298,31 +298,28 @@ module Fast = struct
     g : Graph.t;
     ws : Paths.Workspace.t;
     unit_price : Q.t;
-    tables : int array option array;  (* d_G(v, .), -1 = unreachable *)
+    cache : Distcache.t;  (* d_G(v, .), -1 = unreachable *)
     mutable table_fills : int;
   }
 
-  let create ws model g =
-    {
-      model;
-      g;
-      ws;
-      unit_price = Model.unit_price model;
-      tables = Array.make (max 1 (Graph.n g)) None;
-      table_fills = 0;
-    }
+  let of_cache ws model g cache =
+    if Distcache.n cache <> Graph.n g then
+      invalid_arg "Response.Fast.of_cache: cache size mismatch";
+    { model; g; ws; unit_price = Model.unit_price model; cache; table_fills = 0 }
 
-  let has_table ctx v = ctx.tables.(v) <> None
-  let set_table ctx v d = ctx.tables.(v) <- Some d
+  let create ws model g = of_cache ws model g (Distcache.create (Graph.n g))
+  let cache ctx = ctx.cache
+  let has_table ctx v = Distcache.get ctx.cache v <> None
+  let set_table ctx v d = Distcache.set ctx.cache v d
   let table_fills ctx = ctx.table_fills
 
   let table ctx v =
-    match ctx.tables.(v) with
+    match Distcache.get ctx.cache v with
     | Some d -> d
     | None ->
         let d = Paths.Workspace.distances ctx.ws ctx.g v in
         ctx.table_fills <- ctx.table_fills + 1;
-        ctx.tables.(v) <- Some d;
+        Distcache.set ctx.cache v d;
         d
 
   let profile_of_dists dist =
@@ -338,8 +335,9 @@ module Fast = struct
     { Paths.reached = !reached; sum = !sum; ecc = !ecc }
 
   let cost ctx u =
+    ignore (table ctx u);
     Agents.of_profile ctx.model ctx.g u
-      (profile_of_dists (table ctx u))
+      (Distcache.profile ctx.cache u)
       ~with_edges:true
 
   (* Admission thresholds are cross-multiplied integer costs

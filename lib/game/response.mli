@@ -84,7 +84,19 @@ module Fast : sig
   val create : Paths.Workspace.t -> Model.t -> Graph.t -> ctx
   (** The context borrows the workspace for its BFS scratch space; the
       graph must not change (other than transiently through this module)
-      while the context is in use. *)
+      while the context is in use.  Tables live in a private, step-scoped
+      {!Distcache}. *)
+
+  val of_cache : Paths.Workspace.t -> Model.t -> Graph.t -> Distcache.t -> ctx
+  (** Back the context by a persistent cache instead: tables the cache kept
+      or repaired across steps are reused instead of refilled.  Sound only
+      while the cache's tables are exact for [g] — the engine patches the
+      cache after every committed move.
+      @raise Invalid_argument on a cache/graph size mismatch. *)
+
+  val cache : ctx -> Distcache.t
+  (** The cache backing this context — lets consumers pin the identity and
+      versions of the tables an evaluation read (see {!Ncg_core.Witness}). *)
 
   val cost : ctx -> int -> Cost.t
   (** Same value as [Agents.cost], served from the cached table. *)

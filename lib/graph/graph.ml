@@ -1,7 +1,18 @@
 type t = {
   size : int;
   mutable edge_count : int;
-  nbrs : int list array;
+  (* Adjacency lives in a flat CSR (rows sorted ascending, so neighbor
+     enumeration order is a function of the edge set alone, never of the
+     mutation history — the dynamics engines evaluate candidate moves by
+     transiently applying and undoing them, and the differential suite
+     requires enumeration identical across engines).  The CSR is patched on
+     every mutation, so the BFS kernels in {!Paths} always see a current
+     flat view without rebuilding. *)
+  csr : Csr.t;
+  (* owned_deg.(u) counts the set owner bits among u's listed neighbors,
+     maintained incrementally so [owned_degree] is O(1) — it sits in the
+     per-candidate cost formula of the buy games. *)
+  owned_deg : int array;
   (* owner_of.(u).(v) is true iff the edge {u, v} exists and u owns it.
      adj.(u).(v) iff the edge exists.  Matrices keep edge queries O(1); the
      graphs in this library have at most a few hundred vertices. *)
@@ -14,13 +25,15 @@ let create size =
   {
     size;
     edge_count = 0;
-    nbrs = Array.make size [];
+    csr = Csr.create size;
+    owned_deg = Array.make size 0;
     adj = Array.init size (fun _ -> Array.make size false);
     owner_of = Array.init size (fun _ -> Array.make size false);
   }
 
 let n g = g.size
 let m g = g.edge_count
+let csr g = g.csr
 
 let check_vertex g u name =
   if u < 0 || u >= g.size then
@@ -30,16 +43,6 @@ let has_edge g u v =
   check_vertex g u "has_edge";
   check_vertex g v "has_edge";
   g.adj.(u).(v)
-
-(* Adjacency lists are kept sorted ascending so that neighbor enumeration
-   order is a function of the edge set alone, not of the mutation history.
-   The dynamics engines evaluate candidate moves by transiently applying
-   and undoing them; with insertion-ordered lists every undo would shuffle
-   subsequent enumeration, making "identical trajectories" depend on how
-   many moves each engine happened to evaluate. *)
-let rec insert_sorted v = function
-  | [] -> [ v ]
-  | w :: tl as l -> if v < w then v :: l else w :: insert_sorted v tl
 
 let add_edge g ~owner u v =
   check_vertex g u "add_edge";
@@ -52,8 +55,9 @@ let add_edge g ~owner u v =
   g.adj.(u).(v) <- true;
   g.adj.(v).(u) <- true;
   g.owner_of.(owner).(if owner = u then v else u) <- true;
-  g.nbrs.(u) <- insert_sorted v g.nbrs.(u);
-  g.nbrs.(v) <- insert_sorted u g.nbrs.(v);
+  Csr.insert g.csr u v;
+  Csr.insert g.csr v u;
+  g.owned_deg.(owner) <- g.owned_deg.(owner) + 1;
   g.edge_count <- g.edge_count + 1
 
 let remove_edge g u v =
@@ -63,10 +67,14 @@ let remove_edge g u v =
     invalid_arg (Printf.sprintf "Graph.remove_edge: edge {%d,%d} absent" u v);
   g.adj.(u).(v) <- false;
   g.adj.(v).(u) <- false;
+  (* A corrupted graph can hold the edge doubly-owned; decrement per set
+     bit so owned_deg keeps matching the filtered-neighbors definition. *)
+  if g.owner_of.(u).(v) then g.owned_deg.(u) <- g.owned_deg.(u) - 1;
+  if g.owner_of.(v).(u) then g.owned_deg.(v) <- g.owned_deg.(v) - 1;
   g.owner_of.(u).(v) <- false;
   g.owner_of.(v).(u) <- false;
-  g.nbrs.(u) <- List.filter (fun w -> w <> v) g.nbrs.(u);
-  g.nbrs.(v) <- List.filter (fun w -> w <> u) g.nbrs.(v);
+  ignore (Csr.remove g.csr u v);
+  ignore (Csr.remove g.csr v u);
   g.edge_count <- g.edge_count - 1
 
 let owner g u v =
@@ -81,17 +89,22 @@ let owns g u v =
 
 let neighbors g u =
   check_vertex g u "neighbors";
-  g.nbrs.(u)
+  Csr.row_list g.csr u
 
 let owned_neighbors g u =
   check_vertex g u "owned_neighbors";
-  List.filter (fun v -> g.owner_of.(u).(v)) g.nbrs.(u)
+  List.rev
+    (Csr.fold_row
+       (fun v acc -> if g.owner_of.(u).(v) then v :: acc else acc)
+       g.csr u [])
 
 let degree g u =
   check_vertex g u "degree";
-  List.length g.nbrs.(u)
+  Csr.degree g.csr u
 
-let owned_degree g u = List.length (owned_neighbors g u)
+let owned_degree g u =
+  check_vertex g u "owned_degree";
+  g.owned_deg.(u)
 
 let fold_edges f g acc =
   let acc = ref acc in
@@ -111,7 +124,8 @@ let copy g =
   {
     size = g.size;
     edge_count = g.edge_count;
-    nbrs = Array.copy g.nbrs;
+    csr = Csr.copy g.csr;
+    owned_deg = Array.copy g.owned_deg;
     adj = Array.map Array.copy g.adj;
     owner_of = Array.map Array.copy g.owner_of;
   }
@@ -135,17 +149,23 @@ module Unsafe = struct
     check_vertex g u "Unsafe.drop_half_edge";
     check_vertex g v "Unsafe.drop_half_edge";
     g.adj.(u).(v) <- false;
-    g.nbrs.(u) <- List.filter (fun w -> w <> v) g.nbrs.(u)
+    (* owned_degree counts owner bits among *listed* neighbors, so dropping
+       the half-edge uncounts u's bit even though the bit itself stays. *)
+    if Csr.remove g.csr u v && g.owner_of.(u).(v) then
+      g.owned_deg.(u) <- g.owned_deg.(u) - 1
 
   let set_owner_bit g u v b =
     check_vertex g u "Unsafe.set_owner_bit";
     check_vertex g v "Unsafe.set_owner_bit";
+    if g.owner_of.(u).(v) <> b && Csr.mem g.csr u v then
+      g.owned_deg.(u) <- (g.owned_deg.(u) + if b then 1 else -1);
     g.owner_of.(u).(v) <- b
 
   let add_self_loop g u =
     check_vertex g u "Unsafe.add_self_loop";
     g.adj.(u).(u) <- true;
-    g.nbrs.(u) <- insert_sorted u g.nbrs.(u);
+    Csr.insert g.csr u u;
+    if g.owner_of.(u).(u) then g.owned_deg.(u) <- g.owned_deg.(u) + 1;
     g.edge_count <- g.edge_count + 1
 end
 

@@ -57,7 +57,18 @@ val owned_neighbors : t -> int -> int list
     ascending, like {!neighbors}. *)
 
 val degree : t -> int -> int
+(** O(1) — a CSR offsets difference. *)
+
 val owned_degree : t -> int -> int
+(** Number of owner bits set among [u]'s listed neighbors — O(1), maintained
+    incrementally.  This sits in the per-candidate edge-cost formula of the
+    buy games, so it must not rescan the adjacency. *)
+
+val csr : t -> Csr.t
+(** The graph's flat adjacency, maintained incrementally under every
+    mutation (including the {!Unsafe} corruptions).  A borrowed read-only
+    view for BFS kernels: never mutate it directly, and re-fetch
+    {!Csr.targets} after any graph mutation. *)
 
 val fold_edges : (int -> int -> int -> 'a -> 'a) -> t -> 'a -> 'a
 (** [fold_edges f g acc] folds [f u v owner] over all edges with [u < v]. *)

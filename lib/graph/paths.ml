@@ -19,6 +19,10 @@ module Workspace = struct
       stamps = Array.make (max 1 max_n) 0;
     }
 
+  (* Every BFS below iterates the graph's CSR directly: row [u] is the
+     slice [off.(u) .. off.(u+1) - 1] of [tg].  No list cells, no closure,
+     no allocation inside the visit loop. *)
+
   let profile_within ws g source keep =
     let n = Graph.n g in
     if n > Array.length ws.dist then
@@ -26,6 +30,8 @@ module Workspace = struct
     if source < 0 || source >= n then invalid_arg "Paths.profile: source";
     if not (keep source) then
       invalid_arg "Paths.profile_within: source excluded";
+    let csr = Graph.csr g in
+    let off = Csr.offsets csr and tg = Csr.targets csr in
     ws.stamp <- ws.stamp + 1;
     let stamp = ws.stamp in
     ws.stamps.(source) <- stamp;
@@ -37,7 +43,8 @@ module Workspace = struct
       let u = ws.queue.(!head) in
       incr head;
       let du = ws.dist.(u) in
-      let visit v =
+      for i = off.(u) to off.(u + 1) - 1 do
+        let v = tg.(i) in
         if ws.stamps.(v) <> stamp && keep v then begin
           ws.stamps.(v) <- stamp;
           ws.dist.(v) <- du + 1;
@@ -46,8 +53,7 @@ module Workspace = struct
           ws.queue.(!tail) <- v;
           incr tail
         end
-      in
-      List.iter visit (Graph.neighbors g u)
+      done
     done;
     { reached = !tail; sum = !sum; ecc = !ecc }
 
@@ -65,6 +71,8 @@ module Workspace = struct
       invalid_arg "Paths.Workspace: graph larger than workspace";
     if source < 0 || source >= n then
       invalid_arg "Paths.profile_bounded: source";
+    let csr = Graph.csr g in
+    let off = Csr.offsets csr and tg = Csr.targets csr in
     ws.stamp <- ws.stamp + 1;
     let stamp = ws.stamp in
     ws.stamps.(source) <- stamp;
@@ -80,8 +88,12 @@ module Workspace = struct
       let u = ws.queue.(!head) in
       incr head;
       let du = ws.dist.(u) in
-      let visit v =
-        if (not !exceeded) && ws.stamps.(v) <> stamp then begin
+      let i = ref off.(u) in
+      let row_end = off.(u + 1) in
+      while (not !exceeded) && !i < row_end do
+        let v = tg.(!i) in
+        incr i;
+        if ws.stamps.(v) <> stamp then begin
           ws.stamps.(v) <- stamp;
           ws.dist.(v) <- du + 1;
           sum := !sum + du + 1;
@@ -92,8 +104,7 @@ module Workspace = struct
           ws.queue.(!tail) <- v;
           incr tail
         end
-      in
-      List.iter visit (Graph.neighbors g u)
+      done
     done;
     if !exceeded then None else Some { reached = !tail; sum = !sum; ecc = !ecc }
 
@@ -103,6 +114,8 @@ module Workspace = struct
       invalid_arg "Paths.Workspace: graph larger than workspace";
     if source < 0 || source >= n then
       invalid_arg "Paths.Workspace.distances: source";
+    let csr = Graph.csr g in
+    let off = Csr.offsets csr and tg = Csr.targets csr in
     let dist = Array.make n (-1) in
     dist.(source) <- 0;
     ws.queue.(0) <- source;
@@ -111,16 +124,50 @@ module Workspace = struct
       let u = ws.queue.(!head) in
       incr head;
       let du = dist.(u) in
-      let visit v =
+      for i = off.(u) to off.(u + 1) - 1 do
+        let v = tg.(i) in
         if dist.(v) < 0 then begin
           dist.(v) <- du + 1;
           ws.queue.(!tail) <- v;
           incr tail
         end
-      in
-      List.iter visit (Graph.neighbors g u)
+      done
     done;
     dist
+
+  (* Point query without the result-array allocation of [distances]:
+     stamped BFS with early exit once [target] is dequeued. *)
+  let distance ws g source target =
+    let n = Graph.n g in
+    if n > Array.length ws.dist then
+      invalid_arg "Paths.Workspace: graph larger than workspace";
+    if source < 0 || source >= n || target < 0 || target >= n then
+      invalid_arg "Paths.Workspace.distance: vertex";
+    let csr = Graph.csr g in
+    let off = Csr.offsets csr and tg = Csr.targets csr in
+    ws.stamp <- ws.stamp + 1;
+    let stamp = ws.stamp in
+    ws.stamps.(source) <- stamp;
+    ws.dist.(source) <- 0;
+    ws.queue.(0) <- source;
+    let head = ref 0 and tail = ref 1 in
+    let found = ref (if source = target then 0 else -1) in
+    while !found < 0 && !head < !tail do
+      let u = ws.queue.(!head) in
+      incr head;
+      let du = ws.dist.(u) in
+      for i = off.(u) to off.(u + 1) - 1 do
+        let v = tg.(i) in
+        if ws.stamps.(v) <> stamp then begin
+          ws.stamps.(v) <- stamp;
+          ws.dist.(v) <- du + 1;
+          if v = target then found := du + 1;
+          ws.queue.(!tail) <- v;
+          incr tail
+        end
+      done
+    done;
+    !found
 end
 
 let profile g source =
@@ -128,28 +175,18 @@ let profile g source =
   Workspace.profile ws g source
 
 let distances g source =
-  let n = Graph.n g in
-  if source < 0 || source >= n then invalid_arg "Paths.distances: source";
-  let dist = Array.make n (-1) in
-  let queue = Queue.create () in
-  dist.(source) <- 0;
-  Queue.add source queue;
-  while not (Queue.is_empty queue) do
-    let u = Queue.pop queue in
-    let du = dist.(u) in
-    let visit v =
-      if dist.(v) < 0 then begin
-        dist.(v) <- du + 1;
-        Queue.add v queue
-      end
-    in
-    List.iter visit (Graph.neighbors g u)
-  done;
-  dist
+  let ws = Workspace.create (Graph.n g) in
+  Workspace.distances ws g source
 
-let distance g u v = (distances g u).(v)
+let distance g u v =
+  let ws = Workspace.create (Graph.n g) in
+  Workspace.distance ws g u v
 
-let all_pairs g = Array.init (Graph.n g) (fun u -> distances g u)
+let all_pairs g =
+  (* One shared workspace across all sources: only the n result rows are
+     allocated, not a queue per source. *)
+  let ws = Workspace.create (Graph.n g) in
+  Array.init (Graph.n g) (fun u -> Workspace.distances ws g u)
 
 let is_connected g =
   let n = Graph.n g in
@@ -159,10 +196,11 @@ let eccentricities g =
   let n = Graph.n g in
   if n = 0 then Some [||]
   else
+    let ws = Workspace.create n in
     let ecc = Array.make n 0 in
     let connected = ref true in
     for u = 0 to n - 1 do
-      let p = profile g u in
+      let p = Workspace.profile ws g u in
       if p.reached < n then connected := false;
       ecc.(u) <- p.ecc
     done;
@@ -190,11 +228,12 @@ let center g =
 
 let components g =
   let n = Graph.n g in
+  let ws = Workspace.create n in
   let seen = Array.make n false in
   let comps = ref [] in
   for u = 0 to n - 1 do
     if not seen.(u) then begin
-      let dist = distances g u in
+      let dist = Workspace.distances ws g u in
       let comp = ref [] in
       for v = n - 1 downto 0 do
         if dist.(v) >= 0 then begin

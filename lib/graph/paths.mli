@@ -80,4 +80,8 @@ module Workspace : sig
   val distances : t -> Graph.t -> int -> int array
   (** Same result as {!val:Paths.distances}, using the workspace queue
       instead of a [Queue.t]; only the result array is allocated. *)
+
+  val distance : t -> Graph.t -> int -> int -> int
+  (** Same result as {!val:Paths.distance} without allocating: stamped BFS
+      with early exit once the target is reached. *)
 end

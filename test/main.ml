@@ -13,6 +13,7 @@ let () =
       Suite_game.suite;
       Suite_core.suite;
       Suite_differential.suite;
+      Suite_incremental.suite;
       Suite_sentinel.suite;
       Suite_envelope.suite;
       Suite_parallel.suite;

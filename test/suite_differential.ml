@@ -185,6 +185,52 @@ let test_scan_domains () =
       done)
     [ 2; 4 ]
 
+let test_incremental_column () =
+  (* The cross-step cache changes *when* distances are computed, never
+     their values: with the cache on (the default), off, and against the
+     reference, all three trajectories must be byte-identical — and the
+     incremental run must actually exercise the cache (keeps/repairs). *)
+  let exercised = ref 0 in
+  List.iter
+    (fun (game, dist_mode, mk) ->
+      for seed = 1 to 5 do
+        let rng = Random.State.make [| seed; 0x1ac |] in
+        let n, g = mk rng in
+        let model =
+          Model.make ~alpha:(Ncg_rational.Q.of_int 3) game dist_mode n
+        in
+        let run incremental =
+          Engine.run
+            ~rng:(Random.State.make [| seed; 0xd1ff |])
+            (Engine.config ~incremental ~max_steps:400 model)
+            g
+        in
+        let inc = run true and plain = run false in
+        let naive =
+          Reference.run
+            ~rng:(Random.State.make [| seed; 0xd1ff |])
+            (Engine.config ~max_steps:400 model)
+            g
+        in
+        check "incremental = plain fast" true (identical inc plain);
+        check "incremental = reference" true (identical inc naive);
+        exercised :=
+          !exercised + inc.Engine.cache.Distcache.kept
+          + inc.Engine.cache.Distcache.repaired;
+        check_int "plain fast path reports no cache activity" 0
+          (plain.Engine.cache.Distcache.kept
+          + plain.Engine.cache.Distcache.repaired
+          + plain.Engine.cache.Distcache.rebuilt)
+      done)
+    [
+      (Model.Gbg, Model.Sum, fun rng -> (12, Gen.random_m_edges rng 12 20));
+      (Model.Gbg, Model.Max, fun rng -> (12, Gen.random_m_edges rng 12 20));
+      (Model.Sg, Model.Sum, fun rng -> (10, Gen.random_connected rng 10 0.2));
+      (Model.Asg, Model.Sum, fun rng -> (10, Gen.random_budget_network rng 10 2));
+    ];
+  check "incremental runs kept or repaired tables across steps" true
+    (!exercised > 0)
+
 (* ------------------------------------------------------------------ *)
 (* Building-block parity: Fast vs naive Response, witness probes       *)
 (* ------------------------------------------------------------------ *)
@@ -300,6 +346,8 @@ let suite =
       Alcotest.test_case "cycle-detection parity" `Quick test_cycle_parity;
       Alcotest.test_case "audited-run parity" `Quick test_audited_parity;
       Alcotest.test_case "parallel scan parity" `Quick test_scan_domains;
+      Alcotest.test_case "incremental-cache parity" `Quick
+        test_incremental_column;
       Alcotest.test_case "witness hit accounting" `Quick test_witness_hits;
     ]
     @ List.map QCheck_alcotest.to_alcotest

@@ -447,7 +447,8 @@ let fake_curves () =
     Stats.summarize
       [ { Engine.reason = Engine.Converged; steps; history = [];
           final = Ncg_graph.Gen.path 2;
-          sentinel = Sentinel.clean_report } ]
+          sentinel = Sentinel.clean_report;
+          cache = Ncg_game.Distcache.zero_stats } ]
   in
   [ { Series.label = "a";
       points =
