@@ -1,0 +1,117 @@
+(* ncg_serve: the NCG simulation daemon.  One process doubles as the
+   worker executable — the daemon respawns itself with [--worker slot
+   lease_dir heartbeat_interval], which must be dispatched before
+   cmdliner sees the command line. *)
+
+open Cmdliner
+module Daemon = Ncg_service.Daemon
+module Incident_log = Ncg_experiments.Incident_log
+
+let () =
+  if Array.length Sys.argv >= 5 && Sys.argv.(1) = "--worker" then begin
+    Daemon.worker_main
+      ~slot:(int_of_string Sys.argv.(2))
+      ~lease_dir:Sys.argv.(3)
+      ~heartbeat_interval:(float_of_string Sys.argv.(4))
+      ();
+    exit 0
+  end
+
+let socket =
+  let doc = "Unix-domain socket path to listen on." in
+  Arg.(
+    value
+    & opt string "ncg-serve/ncg.sock"
+    & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let workers =
+  let doc = "Worker processes in the pool." in
+  Arg.(value & opt int 2 & info [ "workers" ] ~docv:"N" ~doc)
+
+let lease_dir =
+  let doc = "Directory for worker lease/heartbeat files." in
+  Arg.(
+    value & opt string "ncg-serve/leases" & info [ "lease-dir" ] ~docv:"DIR" ~doc)
+
+let max_queue =
+  let doc = "Admission bound: queued + retrying jobs before queue_full sheds." in
+  Arg.(value & opt int 64 & info [ "max-queue" ] ~docv:"N" ~doc)
+
+let max_wait =
+  let doc = "Admission bound: estimated wait (seconds) before overloaded sheds." in
+  Arg.(value & opt float 30.0 & info [ "max-wait" ] ~docv:"SECS" ~doc)
+
+let max_attempts =
+  let doc = "Dispatch attempts per job before it is reported faulted." in
+  Arg.(value & opt int 3 & info [ "max-attempts" ] ~docv:"N" ~doc)
+
+let retry_base =
+  let doc = "Base backoff (seconds) after a worker death; doubles per attempt." in
+  Arg.(value & opt float 0.25 & info [ "retry-base" ] ~docv:"SECS" ~doc)
+
+let heartbeat_interval =
+  let doc = "How often workers write their lease heartbeat." in
+  Arg.(
+    value & opt float 0.5 & info [ "heartbeat-interval" ] ~docv:"SECS" ~doc)
+
+let heartbeat_timeout =
+  let doc = "Heartbeat age after which a worker is presumed dead." in
+  Arg.(
+    value & opt float 3.0 & info [ "heartbeat-timeout" ] ~docv:"SECS" ~doc)
+
+let deadline_grace =
+  let doc =
+    "How far past its deadline a job may run before its worker is killed."
+  in
+  Arg.(value & opt float 1.0 & info [ "deadline-grace" ] ~docv:"SECS" ~doc)
+
+let drain_grace =
+  let doc = "Seconds in-flight jobs get to finish after SIGTERM." in
+  Arg.(value & opt float 30.0 & info [ "drain-grace" ] ~docv:"SECS" ~doc)
+
+let cache_capacity =
+  let doc = "Result-cache entries (canonical host + parameters)." in
+  Arg.(value & opt int 512 & info [ "cache" ] ~docv:"N" ~doc)
+
+let canon_budget =
+  let doc =
+    "Canonicalization node budget; hosts past it bypass the cache."
+  in
+  Arg.(value & opt int 200_000 & info [ "canon-budget" ] ~docv:"N" ~doc)
+
+let max_n =
+  let doc = "Largest admissible host graph." in
+  Arg.(value & opt int 96 & info [ "max-n" ] ~docv:"N" ~doc)
+
+let incident_log =
+  let doc = "Append worker incidents to this JSONL file." in
+  Arg.(
+    value & opt (some string) None & info [ "incident-log" ] ~docv:"FILE" ~doc)
+
+let serve socket workers lease_dir max_queue max_wait max_attempts retry_base
+    heartbeat_interval heartbeat_timeout deadline_grace drain_grace
+    cache_capacity canon_budget max_n incident_log =
+  let incidents = Option.map (fun p -> Incident_log.open_ p) incident_log in
+  let cfg =
+    Daemon.config ~workers ~max_queue ~max_wait ~max_attempts ~retry_base
+      ~heartbeat_interval ~heartbeat_timeout ~deadline_grace ~drain_grace
+      ~cache_capacity ~canon_budget ~max_n ?incidents ~socket_path:socket
+      ~worker_argv:[| Sys.executable_name; "--worker" |]
+      ~lease_dir ()
+  in
+  Printf.eprintf "ncg_serve: listening on %s (%d workers)\n%!" socket workers;
+  let code = Daemon.serve cfg in
+  Option.iter Incident_log.close incidents;
+  exit code
+
+let cmd =
+  let doc = "fault-tolerant NCG simulation daemon" in
+  Cmd.v
+    (Cmd.info "ncg_serve" ~version:"1.0" ~doc)
+    Term.(
+      const serve $ socket $ workers $ lease_dir $ max_queue $ max_wait
+      $ max_attempts $ retry_base $ heartbeat_interval $ heartbeat_timeout
+      $ deadline_grace $ drain_grace $ cache_capacity $ canon_budget $ max_n
+      $ incident_log)
+
+let () = exit (Cmd.eval cmd)

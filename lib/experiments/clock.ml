@@ -1,0 +1,1 @@
+external monotonic : unit -> float = "ncg_clock_monotonic"

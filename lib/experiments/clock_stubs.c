@@ -1,0 +1,31 @@
+/* Monotonic time for lease heartbeats and deadlines.
+
+   Unix.gettimeofday is wall-clock: an NTP step moves it by seconds to
+   hours in either direction, which can mass-expire every lease of a
+   fleet (forward step) or immortalize a genuinely dead worker's lease
+   (backward step).  CLOCK_MONOTONIC is immune to clock steps and is a
+   single system-wide timeline, so heartbeats written by a worker
+   process compare correctly against "now" read by its supervisor. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+#include <sys/time.h>
+
+CAMLprim value ncg_clock_monotonic(value unit)
+{
+  (void)unit;
+#ifdef CLOCK_MONOTONIC
+  {
+    struct timespec ts;
+    if (clock_gettime(CLOCK_MONOTONIC, &ts) == 0)
+      return caml_copy_double((double)ts.tv_sec + (double)ts.tv_nsec * 1e-9);
+  }
+#endif
+  {
+    /* last-resort fallback (no monotonic clock on this platform) */
+    struct timeval tv;
+    gettimeofday(&tv, NULL);
+    return caml_copy_double((double)tv.tv_sec + (double)tv.tv_usec * 1e-6);
+  }
+}

@@ -66,10 +66,10 @@ let worker ~dir ~fingerprint ~shard ~key ~seed ~trials ~heartbeat_interval
          can find us; from here on we only keep the lease while we still
          own it. *)
       Lease.save ~dir ~fingerprint
-        { lease with Lease.owner = me; heartbeat = Unix.gettimeofday () };
-      let last_beat = ref (Unix.gettimeofday ()) in
+        { lease with Lease.owner = me; heartbeat = Clock.monotonic () };
+      let last_beat = ref (Clock.monotonic ()) in
       let beat () =
-        let now = Unix.gettimeofday () in
+        let now = Clock.monotonic () in
         if now -. !last_beat >= heartbeat_interval then
           match Lease.load ~dir ~fingerprint ~shard with
           | Ok l
@@ -103,7 +103,7 @@ let worker ~dir ~fingerprint ~shard ~key ~seed ~trials ~heartbeat_interval
                   l with
                   Lease.status = Lease.Done;
                   owner = me;
-                  heartbeat = Unix.gettimeofday ();
+                  heartbeat = Clock.monotonic ();
                 };
               Ok ()
           | Ok _ -> Error "lease reassigned before completion"
@@ -233,7 +233,7 @@ let supervise cfg =
             l with
             Lease.status = Lease.Running;
             owner = 0;
-            heartbeat = Unix.gettimeofday ();
+            heartbeat = Clock.monotonic ();
             attempts = l.Lease.attempts + 1;
           }
     | Error _ ->
@@ -241,7 +241,7 @@ let supervise cfg =
           {
             (fresh s) with
             Lease.status = Lease.Running;
-            heartbeat = Unix.gettimeofday ();
+            heartbeat = Clock.monotonic ();
             attempts = 1;
           });
     let pid = cfg.spawn ~shard:s in
@@ -267,12 +267,8 @@ let supervise cfg =
     end
   in
   let reap_all signal =
-    Hashtbl.iter
-      (fun _ pid -> try Unix.kill pid signal with Unix.Unix_error _ -> ())
-      running;
-    Hashtbl.iter
-      (fun _ pid -> try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ())
-      running
+    Hashtbl.iter (fun _ pid -> Sysx.kill pid signal) running;
+    Hashtbl.iter (fun _ pid -> Sysx.reap pid) running
   in
   while (not (Queue.is_empty pending)) || Hashtbl.length running > 0 do
     if Runner.stop_requested () then begin
@@ -284,12 +280,12 @@ let supervise cfg =
     do
       spawn_shard (Queue.pop pending)
     done;
-    Unix.sleepf cfg.poll_interval;
-    let now = Unix.gettimeofday () in
+    Sysx.sleepf cfg.poll_interval;
+    let now = Clock.monotonic () in
     let events =
       Hashtbl.fold
         (fun s pid acc ->
-          match Unix.waitpid [ Unix.WNOHANG ] pid with
+          match Sysx.waitpid [ Unix.WNOHANG ] pid with
           | 0, _ -> (
               (* alive as far as the kernel knows; check the heartbeat *)
               match load s with
@@ -302,8 +298,9 @@ let supervise cfg =
           | _, Unix.WSIGNALED sg ->
               `Died (s, pid, "killed by " ^ signal_name sg) :: acc
           | _, Unix.WSTOPPED _ -> acc
-          | exception Unix.Unix_error _ ->
-              `Died (s, pid, "waitpid failed") :: acc)
+          | exception Unix.Unix_error (Unix.ECHILD, _, _) ->
+              (* reaped elsewhere: only possible if the child is gone *)
+              `Died (s, pid, "waitpid: no such child") :: acc)
         running []
     in
     List.iter
@@ -311,8 +308,8 @@ let supervise cfg =
         | `Stalled (s, pid) ->
             (* missed-heartbeat detection: the worker is hung or starved;
                kill it so the reassigned shard cannot be double-run *)
-            (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
-            (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+            Sysx.kill pid Sys.sigkill;
+            Sysx.reap pid;
             fail_shard s pid "heartbeat expired"
         | `Exited_ok (s, pid) -> (
             (* exit 0 only counts with a Done lease — a worker that lost

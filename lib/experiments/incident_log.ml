@@ -1,4 +1,10 @@
-type t = { path : string; fd : Unix.file_descr }
+type rotation = { max_bytes : int; keep : int }
+
+type t = {
+  path : string;
+  mutable fd : Unix.file_descr;
+  rotation : rotation option;
+}
 
 type event =
   | Quarantined of { key : string; trial : int; outcome : Stats.outcome }
@@ -13,12 +19,22 @@ type event =
     }
   | Reassigned of { shard : int; attempt : int }
   | Shard_quarantined of { shard : int; lo : int; hi : int; attempts : int }
+  | Job_interrupted of {
+      job : int;
+      pid : int;
+      attempt : int;
+      cause : string;
+    }
 
-let open_ path =
-  {
-    path;
-    fd = Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644;
-  }
+let open_fd path =
+  Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+
+let open_ ?rotation path =
+  (match rotation with
+  | Some r when r.max_bytes < 1 || r.keep < 1 ->
+      invalid_arg "Incident_log.open_: rotation needs max_bytes, keep >= 1"
+  | _ -> ());
+  { path; fd = open_fd path; rotation }
 
 let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
 
@@ -133,19 +149,65 @@ let json_of_event = function
           ("hi", string_of_int hi);
           ("attempts", string_of_int attempts);
         ]
+  | Job_interrupted { job; pid; attempt; cause } ->
+      obj
+        [
+          ("event", json_string "job_interrupted");
+          ("job", string_of_int job);
+          ("pid", string_of_int pid);
+          ("attempt", string_of_int attempt);
+          ("cause", json_string cause);
+        ]
+
+(* ------------------------------------------------------------------ *)
+(* Rotation                                                            *)
+(* ------------------------------------------------------------------ *)
+
+let segment t i = Printf.sprintf "%s.%d" t.path i
+
+(* Shift path -> path.1 -> path.2 -> ... -> path.keep (dropped).  Pure
+   renames: a writer that still holds an fd to a renamed segment keeps
+   appending to it — its records land in the rotated file, complete,
+   because each record is one O_APPEND write.  Rotation therefore never
+   tears a record, whoever performs it. *)
+let rotate t r =
+  (try Sys.remove (segment t r.keep) with Sys_error _ -> ());
+  for i = r.keep - 1 downto 1 do
+    if Sys.file_exists (segment t i) then (
+      try Sys.rename (segment t i) (segment t (i + 1)) with Sys_error _ -> ())
+  done;
+  (try Sys.rename t.path (segment t 1) with Sys_error _ -> ());
+  (try Unix.close t.fd with Unix.Unix_error _ -> ());
+  t.fd <- open_fd t.path
+
+let same_file a b =
+  a.Unix.st_dev = b.Unix.st_dev && a.Unix.st_ino = b.Unix.st_ino
+
+(* Rotation check before each record.  Two concerns: (a) our own file
+   grew past the cap — rotate it; (b) another process of a shared log
+   rotated under us — our fd now points at a renamed segment, so reopen
+   the live path.  Concurrent rotations race only on renames, which are
+   individually atomic; the worst interleaving skips one shift, never
+   damages a line. *)
+let maybe_rotate t =
+  match t.rotation with
+  | None -> ()
+  | Some r -> (
+      (match Unix.stat t.path with
+      | st when same_file st (Unix.fstat t.fd) -> ()
+      | _ | (exception Unix.Unix_error (Unix.ENOENT, _, _)) ->
+          (try Unix.close t.fd with Unix.Unix_error _ -> ());
+          t.fd <- open_fd t.path);
+      match Unix.fstat t.fd with
+      | st when st.Unix.st_size >= r.max_bytes -> rotate t r
+      | _ -> ())
 
 (* One write(2) per record.  The fd is O_APPEND, so the kernel serializes
    concurrent appenders at the offset: as long as each record is a single
    write, records from different processes (fleet workers and their
    supervisor share one log) interleave at line granularity, never inside
-   a line.  The retry loop only matters on short writes, which regular
-   files do not produce in practice. *)
+   a line.  [Sysx.write_all] retries EINTR and resumes short writes —
+   previously an interrupting signal would have raised out of [record]. *)
 let record t event =
-  let line = Bytes.of_string (json_of_event event ^ "\n") in
-  let len = Bytes.length line in
-  let rec write_all off =
-    if off < len then
-      let n = Unix.write t.fd line off (len - off) in
-      write_all (off + n)
-  in
-  write_all 0
+  maybe_rotate t;
+  Sysx.write_all t.fd (Bytes.of_string (json_of_event event ^ "\n"))

@@ -26,6 +26,19 @@
 
 type t
 
+type rotation = {
+  max_bytes : int;
+      (** rotate once the live file reaches this size, in bytes *)
+  keep : int;  (** rotated segments retained ([path.1] .. [path.keep]) *)
+}
+(** Size-based rotation policy.  Without one, the log grows without
+    bound — a week-long soak or a long-lived daemon needs a cap.  On
+    rotation the live file shifts to [path.1], [path.1] to [path.2],
+    and so on; [path.keep] falls off.  Rotation is rename-only, so a
+    concurrent writer's in-flight record lands complete in whichever
+    segment its fd points at — rotation can misplace a record into an
+    older segment, never tear one. *)
+
 type event =
   | Quarantined of { key : string; trial : int; outcome : Stats.outcome }
   | Degraded of { key : string; trial : int; outcome : Stats.outcome }
@@ -39,9 +52,23 @@ type event =
     }
   | Reassigned of { shard : int; attempt : int }
   | Shard_quarantined of { shard : int; lo : int; hi : int; attempts : int }
+  | Job_interrupted of {
+      job : int;
+      pid : int;
+      attempt : int;  (** which attempt of the job the death interrupted *)
+      cause : string;
+    }
+      (** the simulation service's analogue of [worker_dead]: a service
+          worker died with this job in flight; the job goes back to the
+          queue (or is marked faulted at the attempt cap) *)
 
-val open_ : string -> t
-(** Opens (appending, creating if needed) the log at [path]. *)
+val open_ : ?rotation:rotation -> string -> t
+(** Opens (appending, creating if needed) the log at [path].  With
+    [?rotation] the log is capped: before each record, if the live file
+    reached [max_bytes] it is rotated, and if another process of a
+    shared log rotated first (the fd no longer names [path]) the live
+    path is reopened.
+    @raise Invalid_argument if the rotation fields are not positive. *)
 
 val close : t -> unit
 

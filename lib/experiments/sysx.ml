@@ -1,0 +1,53 @@
+let rec read fd buf pos len =
+  try Unix.read fd buf pos len
+  with Unix.Unix_error (Unix.EINTR, _, _) -> read fd buf pos len
+
+let rec write fd buf pos len =
+  try Unix.write fd buf pos len
+  with Unix.Unix_error (Unix.EINTR, _, _) -> write fd buf pos len
+
+let write_all fd buf =
+  let len = Bytes.length buf in
+  let rec go off = if off < len then go (off + write fd buf off (len - off)) in
+  go 0
+
+let rec waitpid flags pid =
+  try Unix.waitpid flags pid
+  with Unix.Unix_error (Unix.EINTR, _, _) -> waitpid flags pid
+
+let reap pid =
+  try ignore (waitpid [] pid)
+  with Unix.Unix_error (Unix.ECHILD, _, _) -> ()
+
+let kill pid signal =
+  try Unix.kill pid signal
+  with Unix.Unix_error (Unix.ESRCH, _, _) -> ()
+
+let sleepf seconds =
+  let deadline = Clock.monotonic () +. seconds in
+  let rec go remaining =
+    if remaining > 0.0 then begin
+      (try Unix.sleepf remaining
+       with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+      go (deadline -. Clock.monotonic ())
+    end
+  in
+  go seconds
+
+(* Waits in short selects rather than a bare accept(2): closing the
+   listening fd from another thread does NOT wake a blocked accept on
+   Linux, so a stop flag checked only on EINTR can never fire.  Bounded
+   waits make the flag effective within [poll]. *)
+let rec accept ?(stop = fun () -> false) ?(poll = 0.1) fd =
+  if stop () then None
+  else
+    match Unix.select [ fd ] [] [] poll with
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> accept ~stop ~poll fd
+    | [], _, _ -> accept ~stop ~poll fd
+    | _ -> (
+        match Unix.accept fd with
+        | pair -> Some pair
+        | exception
+            Unix.Unix_error
+              ((Unix.EINTR | Unix.EAGAIN | Unix.ECONNABORTED), _, _) ->
+            accept ~stop ~poll fd)

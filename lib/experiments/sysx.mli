@@ -1,0 +1,44 @@
+(** EINTR-safe system-call wrappers.
+
+    Every long-lived process in this codebase installs signal handlers
+    (cooperative stop, drain, heartbeat threads), so any blocking
+    syscall can fail with [EINTR] at any time.  The original call sites
+    papered over this with broad [Unix.Unix_error _ -> ()] catches,
+    which also swallow {e real} errors — a bad fd, a vanished child, a
+    full disk.  These wrappers retry exactly [EINTR] and let every other
+    error propagate, so callers can catch precisely the errors they
+    expect ([ECHILD] after a race to reap, [ESRCH] after a race to
+    kill) and nothing else. *)
+
+val read : Unix.file_descr -> bytes -> int -> int -> int
+(** [Unix.read], retrying on [EINTR]. *)
+
+val write : Unix.file_descr -> bytes -> int -> int -> int
+(** [Unix.write], retrying on [EINTR]. *)
+
+val write_all : Unix.file_descr -> bytes -> unit
+(** Write the whole buffer: retries [EINTR] and resumes short writes. *)
+
+val waitpid : Unix.wait_flag list -> int -> int * Unix.process_status
+(** [Unix.waitpid], retrying on [EINTR]. *)
+
+val reap : int -> unit
+(** Blocking [waitpid] on one pid, ignoring only [ECHILD] (someone else
+    already reaped it) — any other error propagates. *)
+
+val kill : int -> int -> unit
+(** [Unix.kill], ignoring only [ESRCH] (the process is already gone). *)
+
+val sleepf : float -> unit
+(** Sleep at least the given number of seconds even when interrupted by
+    signals: resumes for the remaining time, measured monotonically. *)
+
+val accept : ?stop:(unit -> bool) -> ?poll:float -> Unix.file_descr ->
+  (Unix.file_descr * Unix.sockaddr) option
+(** [accept fd] accepts one connection, retrying [EINTR] (and the
+    transient [EAGAIN]/[ECONNABORTED]); it waits in [select]s of at most
+    [poll] seconds (default 0.1) so the [stop] predicate (default:
+    never) is re-checked at that granularity and a stopping daemon's
+    accept loop ends within one poll even though closing the listening
+    fd would not wake a blocked [accept(2)].  Returns [None] once [stop]
+    holds. *)

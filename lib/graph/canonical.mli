@@ -15,3 +15,35 @@ val unowned_key : Graph.t -> string
 
 val hash : Graph.t -> int
 (** [Hashtbl.hash] of {!key}. *)
+
+exception Budget_exceeded
+(** {!normal_form}'s search exceeded its node budget — the graph is too
+    symmetric to canonicalize within the allotted work.  Callers that
+    use canonical forms opportunistically (result caches) should catch
+    this and fall back to not deduplicating the instance. *)
+
+val normal_form :
+  ?respect_ownership:bool -> ?budget:int -> Graph.t -> Graph.t
+(** An isomorphism-invariant relabeling: [normal_form g] and
+    [normal_form h] are {e equal} graphs whenever [g] and [h] are
+    isomorphic (ownership-respecting by default, matching {!Iso}), and
+    the result is always isomorphic to the input.  Computed by
+    individualization-refinement search for the lexicographically least
+    adjacency encoding, with automorphism pruning; [budget] (default
+    200k search nodes) bounds the work on pathologically symmetric
+    inputs.  Typical instances (random trees, connected graphs, paper
+    topologies) refine to near-discrete colorings and canonicalize in
+    microseconds; maximally symmetric families still cost ~n^3 search
+    nodes (each symmetry must be witnessed once), so e.g. stars stay
+    within the default budget up to roughly 80 vertices.  With [~respect_ownership:false] only the edge set is
+    canonical — the owners of the returned graph follow the original
+    labels and may differ between isomorphic inputs.
+    @raise Budget_exceeded when the node budget runs out. *)
+
+val iso_key : ?respect_ownership:bool -> ?budget:int -> Graph.t -> string
+(** {!key} (or {!unowned_key} when not respecting ownership) of
+    {!normal_form} — equal for isomorphic graphs, distinct otherwise.
+    This is the dedupe key for isomorphic-instance traffic: request
+    caches keyed by it answer every relabeled copy of an instance from
+    one computed result.
+    @raise Budget_exceeded as {!normal_form}. *)

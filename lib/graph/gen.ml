@@ -136,3 +136,42 @@ let random_connected rng n p =
     done
   done;
   g
+
+let random_host_network rng host p =
+  let n = Graph.n host in
+  if n < 1 then invalid_arg "Gen.random_host_network";
+  let g = Graph.create n in
+  if n > 1 then begin
+    (* Random spanning tree of the host: repeatedly attach a uniformly
+       random unmarked vertex that has a marked host-neighbor, through a
+       uniformly random such neighbor.  Mirrors [random_tree], restricted
+       to buildable edges; fails if the host is disconnected. *)
+    let marked = Array.make n false in
+    marked.(Random.State.int rng n) <- true;
+    for _ = 2 to n do
+      let frontier =
+        List.filter
+          (fun v ->
+            (not marked.(v))
+            && List.exists (fun u -> marked.(u)) (Graph.neighbors host v))
+          (Graph.vertices host)
+      in
+      match frontier with
+      | [] -> invalid_arg "Gen.random_host_network: host graph disconnected"
+      | vs ->
+          let v = List.nth vs (Random.State.int rng (List.length vs)) in
+          let anchors =
+            List.filter (fun u -> marked.(u)) (Graph.neighbors host v)
+          in
+          let u = List.nth anchors (Random.State.int rng (List.length anchors)) in
+          marked.(v) <- true;
+          Graph.add_edge g ~owner:(if Random.State.bool rng then u else v) u v
+    done;
+    (* each remaining host edge independently with probability p *)
+    Graph.iter_edges
+      (fun u v _ ->
+        if (not (Graph.has_edge g u v)) && Random.State.float rng 1.0 < p then
+          Graph.add_edge g ~owner:(if Random.State.bool rng then u else v) u v)
+      host
+  end;
+  g

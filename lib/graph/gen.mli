@@ -58,3 +58,12 @@ val random_connected : Random.State.t -> int -> float -> Graph.t
 (** [random_connected rng n p]: random spanning tree plus each remaining
     pair independently with probability [p]; owners uniform.  Not a paper
     process — used by property tests to fuzz general networks. *)
+
+val random_host_network : Random.State.t -> Graph.t -> float -> Graph.t
+(** [random_host_network rng host p]: a random spanning tree of [host]
+    plus each remaining host edge independently with probability [p];
+    owners uniform among endpoints.  The host-graph analogue of
+    {!random_connected} — every edge of the result is buildable, so the
+    network is a valid initial state for a game on [host] (Corollaries
+    3.6/4.2 topologies, and the simulation service's job intake).
+    @raise Invalid_argument if [host] is empty or disconnected. *)

@@ -1,0 +1,45 @@
+type 'a entry = { value : 'a; mutable used : int }
+
+type 'a t = {
+  capacity : int;
+  tbl : (string, 'a entry) Hashtbl.t;
+  mutable tick : int;
+}
+
+let create capacity =
+  if capacity < 1 then invalid_arg "Cache.create: capacity must be >= 1";
+  { capacity; tbl = Hashtbl.create (2 * capacity); tick = 0 }
+
+let touch t e =
+  t.tick <- t.tick + 1;
+  e.used <- t.tick
+
+let find t key =
+  match Hashtbl.find_opt t.tbl key with
+  | None -> None
+  | Some e ->
+      touch t e;
+      Some e.value
+
+(* Eviction is a linear scan for the stalest entry.  The cache is small
+   (hundreds of entries) and eviction happens at most once per insert,
+   so O(capacity) here beats carrying an intrusive list through every
+   lookup. *)
+let evict_lru t =
+  let victim = ref None in
+  Hashtbl.iter
+    (fun k e ->
+      match !victim with
+      | Some (_, u) when u <= e.used -> ()
+      | _ -> victim := Some (k, e.used))
+    t.tbl;
+  match !victim with None -> () | Some (k, _) -> Hashtbl.remove t.tbl k
+
+let add t key value =
+  (match Hashtbl.find_opt t.tbl key with
+  | Some _ -> Hashtbl.remove t.tbl key
+  | None -> if Hashtbl.length t.tbl >= t.capacity then evict_lru t);
+  t.tick <- t.tick + 1;
+  Hashtbl.add t.tbl key { value; used = t.tick }
+
+let length t = Hashtbl.length t.tbl

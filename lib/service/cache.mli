@@ -1,0 +1,21 @@
+(** Bounded LRU result cache.
+
+    Keys are canonical-instance fingerprints ({!Canonical.iso_key} of the
+    host graph plus {!Proto.params_fingerprint}), so every relabeled copy
+    of an instance is one entry.  Not thread-safe on its own — the daemon
+    calls it under its state lock. *)
+
+type 'a t
+
+val create : int -> 'a t
+(** [create capacity]; at most [capacity] entries are retained, evicting
+    the least recently used.
+    @raise Invalid_argument if [capacity < 1]. *)
+
+val find : 'a t -> string -> 'a option
+(** Looks up and refreshes the entry's recency. *)
+
+val add : 'a t -> string -> 'a -> unit
+(** Inserts or replaces; may evict the least recently used entry. *)
+
+val length : 'a t -> int

@@ -4,6 +4,7 @@
    with its child-mode flag it runs that mode and exits here, before
    alcotest can object to the unknown arguments. *)
 let () = Suite_fleet.maybe_run_child ()
+let () = Suite_service.maybe_run_child ()
 
 let () =
   Alcotest.run "ncg-repro"
@@ -21,4 +22,5 @@ let () =
       Suite_search.suite;
       Suite_experiments.suite;
       Suite_fleet.suite;
+      Suite_service.suite;
     ]

@@ -418,6 +418,52 @@ let test_canonical () =
   check "unowned key ignores ownership" true
     (Canonical.unowned_key g = Canonical.unowned_key h)
 
+let test_normal_form () =
+  (* the normal form is a true canonical representative: relabeling an
+     instance never changes it *)
+  let rng = Random.State.make [| 71 |] in
+  for seed = 0 to 19 do
+    let g = Gen.random_connected rng (6 + (seed mod 7)) 0.3 in
+    let _, h = shuffle_graph (100 + seed) g in
+    check "normal forms of isomorphic graphs equal" true
+      (Graph.equal (Canonical.normal_form g) (Canonical.normal_form h));
+    check "iso_key agrees" true (Canonical.iso_key g = Canonical.iso_key h)
+  done;
+  (* and non-isomorphic graphs of the same size keep distinct keys *)
+  check "path vs star distinct" true
+    (Canonical.iso_key (Gen.path 5) <> Canonical.iso_key (Gen.star 5));
+  (* the result is isomorphic to the input, not just equal-keyed *)
+  let g = Gen.random_connected rng 9 0.3 in
+  check "normal form isomorphic to input" true
+    (Iso.equal g (Canonical.normal_form g));
+  (* ownership split: these are edge-isomorphic but not owner-isomorphic *)
+  let h1 = Graph.of_edges 3 [ (0, 1); (1, 2) ] in
+  let h2 = Graph.of_edges 3 [ (0, 1); (2, 1) ] in
+  check "owner-respecting keys differ" true
+    (Canonical.iso_key h1 <> Canonical.iso_key h2);
+  check "unowned keys agree" true
+    (Canonical.iso_key ~respect_ownership:false h1
+    = Canonical.iso_key ~respect_ownership:false h2)
+
+let test_normal_form_symmetric () =
+  (* automorphism pruning (orbit closure at the root, backjumping below)
+     keeps maximally symmetric families inside the default budget: a
+     naive search would visit 40! leaves on the star *)
+  let s = Gen.star 40 in
+  let _, s' = shuffle_graph 3 s in
+  check "star40 canonicalizes within default budget" true
+    (Canonical.iso_key s = Canonical.iso_key s');
+  let c = Gen.cycle 40 in
+  let _, c' = shuffle_graph 5 c in
+  check "cycle40 canonicalizes within default budget" true
+    (Canonical.iso_key c = Canonical.iso_key c');
+  (* a starved budget raises instead of stalling, so cache layers can
+     fall back to not deduplicating *)
+  check "tiny budget raises Budget_exceeded" true
+    (match Canonical.normal_form ~budget:10 (Gen.star 30) with
+    | exception Canonical.Budget_exceeded -> true
+    | _ -> false)
+
 let test_host () =
   let h = Host.complete 4 in
   check "complete allows" true (Host.allows h 0 3);
@@ -466,6 +512,9 @@ let suite =
       Alcotest.test_case "generator shapes" `Quick test_gen_shapes;
       Alcotest.test_case "iso basics" `Quick test_iso_basics;
       Alcotest.test_case "canonical keys" `Quick test_canonical;
+      Alcotest.test_case "normal form invariance" `Quick test_normal_form;
+      Alcotest.test_case "normal form on symmetric graphs" `Quick
+        test_normal_form_symmetric;
       Alcotest.test_case "host graphs" `Quick test_host;
       Alcotest.test_case "dot export" `Quick test_dot;
     ]
