@@ -1,0 +1,41 @@
+(* Resident batched trial engine: one configuration, one arena, trials
+   streamed through [Engine.run_batch] in lockstep groups of [batch].
+   Create once per domain and keep it across checkpoint groups — the arena
+   amortizes workspace/cache/witness allocation over every trial the
+   stream ever sees, which is the whole point of batching. *)
+
+type t = {
+  cfg : Engine.config;
+  batch : int;
+  arena : Engine.Arena.t;
+}
+
+let default_batch = 32
+
+let create ?(batch = default_batch) cfg =
+  if batch < 1 then invalid_arg "Batch.create: batch size must be positive";
+  {
+    cfg;
+    batch;
+    arena = Engine.Arena.create (Model.n cfg.Engine.model);
+  }
+
+let batch_size t = t.batch
+let arena t = t.arena
+let config t = t.cfg
+
+let run t thunks =
+  let total = Array.length thunks in
+  if total = 0 then [||]
+  else begin
+    let groups = ref [] in
+    let lo = ref 0 in
+    while !lo < total do
+      let len = min t.batch (total - !lo) in
+      groups :=
+        Engine.run_batch ~arena:t.arena t.cfg (Array.sub thunks !lo len)
+        :: !groups;
+      lo := !lo + len
+    done;
+    Array.concat (List.rev !groups)
+  end

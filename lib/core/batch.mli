@@ -1,0 +1,29 @@
+(** Resident batched trial engine.
+
+    A [Batch.t] pairs one engine configuration with one {!Engine.Arena}
+    and streams any number of trials through {!Engine.run_batch} in
+    lockstep groups of [batch] (default 32).  Created once per domain and
+    kept resident across checkpoint groups, it amortizes
+    workspace/Distcache/Witness allocation over every trial it ever
+    serves; results are bit-identical to solo {!Engine.run} calls with the
+    same per-trial RNGs — see the [run_batch] contract.
+
+    Single-domain, like the arena it owns: never share one stream between
+    concurrently running domains.  {!Runner.run_outcomes} keeps one
+    resident stream per domain slot. *)
+
+type t
+
+val create : ?batch:int -> Engine.config -> t
+(** [create cfg] builds a stream with a fresh arena sized
+    [Model.n cfg.model].  [batch] is the lockstep group width.
+    @raise Invalid_argument if [batch < 1]. *)
+
+val batch_size : t -> int
+val arena : t -> Engine.Arena.t
+val config : t -> Engine.config
+
+val run : t -> (unit -> Random.State.t * Graph.t) array -> Engine.batch_outcome array
+(** Stream the trials through the resident arena, [batch] at a time.
+    Slot [i] of the result corresponds to thunk [i]; thunks run exactly
+    once each, in order. *)

@@ -106,255 +106,530 @@ let choose_move cfg rng ctx witness g u =
 let state_key model g =
   if Model.uses_ownership model then Canonical.key g else Canonical.unowned_key g
 
-let run ?rng cfg initial =
+(* A shared arena of trial-scoped resources.  One arena serves any number
+   of trials of the same size, one at a time or lockstep-interleaved by
+   [run_batch]: the BFS workspaces are stamped scratch that every live
+   trial's steps share (steps are strictly sequential within a domain),
+   while Distcache/Witness/seen tables carry genuine per-trial state and so
+   are pooled — a retiring trial returns them, the next trial takes them
+   back reset.  Arenas are single-domain objects: give each domain its
+   own. *)
+module Arena = struct
+  type t = {
+    capacity : int;
+    ws : Paths.Workspace.t;
+    shadow_ws : Paths.Workspace.t Lazy.t;
+    mutable free_caches : Distcache.t list;
+    mutable free_witnesses : Witness.t list;
+    mutable free_seen : (string, int) Hashtbl.t list;
+    mutable trials : int;
+    mutable cache_stats : Distcache.stats;
+  }
+
+  (* Process-wide batching totals, kept apart from [Distcache.totals] —
+     the engine still calls [Distcache.add_to_totals] exactly once per
+     trial whether or not the trial ran under an arena, so those totals
+     stay per-trial-accurate and these never double-count them. *)
+  let g_arenas = Atomic.make 0
+  let g_trials = Atomic.make 0
+  let g_kept = Atomic.make 0
+  let g_repaired = Atomic.make 0
+  let g_rebuilt = Atomic.make 0
+  let g_fills = Atomic.make 0
+
+  let create n =
+    if n < 0 then invalid_arg "Engine.Arena.create: negative size";
+    Atomic.incr g_arenas;
+    {
+      capacity = n;
+      ws = Paths.Workspace.create n;
+      shadow_ws = lazy (Paths.Workspace.create n);
+      free_caches = [];
+      free_witnesses = [];
+      free_seen = [];
+      trials = 0;
+      cache_stats = Distcache.zero_stats;
+    }
+
+  let capacity t = t.capacity
+  let trials t = t.trials
+  let cache_stats t = t.cache_stats
+
+  type totals = {
+    arenas : int;
+    batched_trials : int;
+    cache : Distcache.stats;
+  }
+
+  let totals () =
+    {
+      arenas = Atomic.get g_arenas;
+      batched_trials = Atomic.get g_trials;
+      cache =
+        {
+          Distcache.kept = Atomic.get g_kept;
+          repaired = Atomic.get g_repaired;
+          rebuilt = Atomic.get g_rebuilt;
+          fills = Atomic.get g_fills;
+        };
+    }
+
+  let reset_totals () =
+    Atomic.set g_arenas 0;
+    Atomic.set g_trials 0;
+    Atomic.set g_kept 0;
+    Atomic.set g_repaired 0;
+    Atomic.set g_rebuilt 0;
+    Atomic.set g_fills 0
+
+  let alloc_cache t =
+    match t.free_caches with
+    | c :: rest ->
+        t.free_caches <- rest;
+        Distcache.reset c;
+        c
+    | [] -> Distcache.create t.capacity
+
+  let alloc_witness t =
+    match t.free_witnesses with
+    | w :: rest ->
+        t.free_witnesses <- rest;
+        Witness.reset w;
+        w
+    | [] -> Witness.create t.capacity
+
+  let alloc_seen t =
+    match t.free_seen with
+    | h :: rest ->
+        t.free_seen <- rest;
+        Hashtbl.reset h;
+        h
+    | [] -> Hashtbl.create 64
+
+  let retire t ~cache_stats:(s : Distcache.stats) witness cache seen =
+    t.trials <- t.trials + 1;
+    t.cache_stats <-
+      {
+        Distcache.kept = t.cache_stats.Distcache.kept + s.Distcache.kept;
+        repaired = t.cache_stats.Distcache.repaired + s.Distcache.repaired;
+        rebuilt = t.cache_stats.Distcache.rebuilt + s.Distcache.rebuilt;
+        fills = t.cache_stats.Distcache.fills + s.Distcache.fills;
+      };
+    Atomic.incr g_trials;
+    ignore (Atomic.fetch_and_add g_kept s.Distcache.kept);
+    ignore (Atomic.fetch_and_add g_repaired s.Distcache.repaired);
+    ignore (Atomic.fetch_and_add g_rebuilt s.Distcache.rebuilt);
+    ignore (Atomic.fetch_and_add g_fills s.Distcache.fills);
+    t.free_witnesses <- witness :: t.free_witnesses;
+    (match cache with
+    | Some c -> t.free_caches <- c :: t.free_caches
+    | None -> ());
+    t.free_seen <- seen :: t.free_seen
+end
+
+(* One trial as an explicit state machine.  [stepper_start] captures
+   everything the old recursive loop closed over; [stepper_advance] runs
+   exactly one step (or records the stop reason); [stepper_finish]
+   assembles the result and returns pooled resources to the arena.  The
+   step-by-step decomposition is what lets [run_batch] interleave B trials
+   in lockstep — and [run] is now just start/advance*/finish, so the solo
+   and batched paths share every line of step logic. *)
+
+type stepper_mode = Mode_fast | Mode_degraded
+
+type stepper = {
+  cfg : config;
+  rng : Random.State.t;
+  g : Graph.t;
+  arena : Arena.t option;
+  ws : Paths.Workspace.t;
+  shadow_ws : Paths.Workspace.t Lazy.t;
+  witness : Witness.t;
+  cache : Distcache.t option;
+  seen : (string, int) Hashtbl.t;
+  deadline : float option;
+  require_connected : bool;
+  srng : Random.State.t;
+  mutable history : step list; (* newest first *)
+  mutable checked : int;
+  mutable incidents : Sentinel.incident list; (* newest first *)
+  mutable degraded_at : int option;
+  mutable mode : stepper_mode;
+  mutable steps : int;
+  mutable last : int option;
+  mutable stopped : stop_reason option;
+}
+
+let stepper_start ?arena ?rng cfg initial =
   let rng =
     match rng with
     | Some r -> r
     | None -> Random.State.make [| 0x5eed; Graph.n initial |]
   in
+  let n = Graph.n initial in
+  (match arena with
+  | Some a when Arena.capacity a <> n ->
+      invalid_arg "Engine: arena capacity does not match the network size"
+  | _ -> ());
   let g = Graph.copy initial in
-  let ws = Paths.Workspace.create (Graph.n g) in
-  let witness = Witness.create (Graph.n g) in
+  let ws, shadow_ws =
+    match arena with
+    | Some a -> (a.Arena.ws, a.Arena.shadow_ws)
+    | None -> (Paths.Workspace.create n, lazy (Paths.Workspace.create n))
+  in
+  let witness =
+    match arena with Some a -> Arena.alloc_witness a | None -> Witness.create n
+  in
   (* The cross-step distance cache: owned here, patched after every
      committed move, handed to each step's context.  [None] reverts to the
      step-scoped tables of the pre-incremental fast path. *)
   let cache =
-    if cfg.incremental then Some (Distcache.create (Graph.n g)) else None
+    if cfg.incremental then
+      Some
+        (match arena with
+        | Some a -> Arena.alloc_cache a
+        | None -> Distcache.create n)
+    else None
   in
-  let seen : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let seen =
+    match arena with Some a -> Arena.alloc_seen a | None -> Hashtbl.create 64
+  in
   if cfg.detect_cycles then Hashtbl.replace seen (state_key cfg.model g) 0;
-  let history = ref [] in
-  let deadline =
-    Option.map (fun b -> Unix.gettimeofday () +. b) cfg.time_budget
-  in
-  let out_of_time () =
-    match deadline with
-    | None -> false
-    | Some d -> Unix.gettimeofday () > d
-  in
   (* A connected network can never disconnect under improving moves (the
      mover's own cost would become infinite), so connectivity is part of
      the audited contract exactly when the run started connected. *)
-  let require_connected =
-    cfg.audit <> Audit.Off && Paths.is_connected g
-  in
-  let audit_graph step =
-    match Audit.check_graph ~require_connected ~step cfg.model g with
-    | [] -> None
-    | v :: _ -> Some v
-  in
-  (* Sentinel state.  The sentinel RNG and the shadow workspace are private
-     to the verification layer: the trial's own draw stream and the live
-     context's BFS scratch are never touched, so a healthy checked run is
-     bit-identical to an unchecked one. *)
-  let srng = Sentinel.make_rng (Graph.n g) in
-  let shadow_ws = lazy (Paths.Workspace.create (Graph.n g)) in
-  let checked = ref 0 in
-  let incidents = ref [] in
-  let degraded_at = ref None in
-  let note_incident step phase =
-    incidents :=
-      { Sentinel.step; fingerprint = state_key cfg.model g; phase }
-      :: !incidents
-  in
-  let happy_violation step u =
-    (* The policy contract promises only unhappy agents, so an improving
-       move must exist; surface the breach as a typed violation rather
-       than crashing the whole sweep. *)
-    ( Invariant_violation
-        {
-          Audit.kind = Audit.Happy_agent_selected;
-          step;
-          subject = Some u;
-          detail =
-            Printf.sprintf "policy selected agent %d with no improving move"
-              u;
-        },
-      step )
-  in
-  (* Post-choice step body shared by the fast and the degraded path: audit
-     the move contract, apply, record, audit the graph, detect cycles,
-     then continue via [next]. *)
-  let finish_step step u (e : Response.evaluated) next =
-    let effect = Move.classify_effect g e.Response.move in
-    let contract =
-      if cfg.audit = Audit.Off then None
-      else
-        Audit.check_move ~step cfg.model ~mover:u ~before:e.Response.before
-          ~after:e.Response.after
-    in
-    match contract with
-    | Some v -> (Invariant_violation v, step)
-    | None -> (
-        (match cache with
-        | Some c ->
-            (* Patch the cache primitive by primitive: each note_* sees the
-               graph exactly after its primitive, against the tables from
-               before it — the state the keep/repair rules assume.  The
-               patch also bumps the version counters that expire witness
-               skip certificates depending on what changed. *)
-            ignore
-              (Move.apply_observed g e.Response.move ~on_prim:(fun p ->
-                   match p with
-                   | Move.Added (a, b) -> Distcache.note_added c g a b
-                   | Move.Removed (a, b, _) -> Distcache.note_removed c g a b))
-        | None -> ignore (Move.apply g e.Response.move));
-        Witness.clear witness u;
-        if cfg.record_history then
-          history :=
-            {
-              index = step;
-              move = e.Response.move;
-              effect;
-              cost_before = e.Response.before;
-              cost_after = e.Response.after;
-            }
-            :: !history;
-        let step = step + 1 in
-        match
-          if Audit.should_check cfg.audit step then audit_graph step
-          else None
-        with
-        | Some v -> (Invariant_violation v, step)
-        | None ->
-            if cfg.detect_cycles then begin
-              let key = state_key cfg.model g in
-              match Hashtbl.find_opt seen key with
-              | Some first_visit ->
-                  (Cycle_detected
-                     { first_visit; period = step - first_visit },
-                   step)
-              | None ->
-                  Hashtbl.replace seen key step;
-                  next step (Some u)
-            end
-            else next step (Some u))
-  in
-  let rec fast_loop step last =
-    if step >= cfg.max_steps then (Step_limit, step)
-    else if out_of_time () then (Time_limit, step)
+  let require_connected = cfg.audit <> Audit.Off && Paths.is_connected g in
+  {
+    cfg;
+    rng;
+    g;
+    arena;
+    ws;
+    shadow_ws;
+    witness;
+    cache;
+    seen;
+    deadline = Option.map (fun b -> Unix.gettimeofday () +. b) cfg.time_budget;
+    require_connected;
+    (* Sentinel state.  The sentinel RNG and the shadow workspace are
+       private to the verification layer: the trial's own draw stream and
+       the live context's BFS scratch are never touched, so a healthy
+       checked run is bit-identical to an unchecked one. *)
+    srng = Sentinel.make_rng n;
+    history = [];
+    checked = 0;
+    incidents = [];
+    degraded_at = None;
+    mode = Mode_fast;
+    steps = 0;
+    last = None;
+    stopped = None;
+  }
+
+let audit_graph s step =
+  match
+    Audit.check_graph ~require_connected:s.require_connected ~step s.cfg.model
+      s.g
+  with
+  | [] -> None
+  | v :: _ -> Some v
+
+let note_incident s phase =
+  s.incidents <-
+    { Sentinel.step = s.steps; fingerprint = state_key s.cfg.model s.g; phase }
+    :: s.incidents
+
+let happy_violation s u =
+  (* The policy contract promises only unhappy agents, so an improving
+     move must exist; surface the breach as a typed violation rather
+     than crashing the whole sweep. *)
+  s.stopped <-
+    Some
+      (Invariant_violation
+         {
+           Audit.kind = Audit.Happy_agent_selected;
+           step = s.steps;
+           subject = Some u;
+           detail =
+             Printf.sprintf "policy selected agent %d with no improving move" u;
+         })
+
+(* Post-choice step body shared by the fast and the degraded path: audit
+   the move contract, apply, record, audit the graph, detect cycles, then
+   continue in [next_mode]. *)
+let finish_step s u (e : Response.evaluated) ~next_mode =
+  let cfg = s.cfg in
+  let effect = Move.classify_effect s.g e.Response.move in
+  let contract =
+    if cfg.audit = Audit.Off then None
     else
-      (* One context per step.  With the incremental cache it inherits all
-         tables that survived (were kept or repaired by) the previous
-         step's patch; without, tables describe the current network only
-         for this step and are discarded wholesale.  The witness cache
-         survives across steps either way — probes revalidate. *)
-      let ctx =
-        match cache with
-        | Some c -> Response.Fast.of_cache ws cfg.model g c
-        | None -> Response.Fast.create ws cfg.model g
-      in
-      let checking = Sentinel.due cfg.sentinel srng in
-      let snap =
-        if checking && Sentinel.shadows_selection cfg.policy then
-          Some (Random.State.copy rng)
+      Audit.check_move ~step:s.steps cfg.model ~mover:u
+        ~before:e.Response.before ~after:e.Response.after
+  in
+  match contract with
+  | Some v -> s.stopped <- Some (Invariant_violation v)
+  | None -> (
+      (match s.cache with
+      | Some c ->
+          (* Patch the cache primitive by primitive: each note_* sees the
+             graph exactly after its primitive, against the tables from
+             before it — the state the keep/repair rules assume.  The
+             patch also bumps the version counters that expire witness
+             skip certificates depending on what changed. *)
+          ignore
+            (Move.apply_observed s.g e.Response.move ~on_prim:(fun p ->
+                 match p with
+                 | Move.Added (a, b) -> Distcache.note_added c s.g a b
+                 | Move.Removed (a, b, _) -> Distcache.note_removed c s.g a b))
+      | None -> ignore (Move.apply s.g e.Response.move));
+      Witness.clear s.witness u;
+      if cfg.record_history then
+        s.history <-
+          {
+            index = s.steps;
+            move = e.Response.move;
+            effect;
+            cost_before = e.Response.before;
+            cost_after = e.Response.after;
+          }
+          :: s.history;
+      s.steps <- s.steps + 1;
+      match
+        if Audit.should_check cfg.audit s.steps then audit_graph s s.steps
         else None
-      in
-      let picked =
-        Policy.select_fast cfg.policy ~rng ~ctx ~witness
-          ~domains:cfg.scan_domains cfg.model g ~last
-      in
-      let shadow_sel =
-        match snap with
-        | None -> `Agree
-        | Some shadow_rng ->
-            incr checked;
-            let reference =
-              Policy.select cfg.policy ~rng:shadow_rng
-                ~ws:(Lazy.force shadow_ws) cfg.model g ~last
-            in
-            if reference = picked then `Agree else `Diverged reference
-      in
-      match shadow_sel with
-      | `Diverged reference -> (
-          note_incident step (Sentinel.Selection { fast = picked; reference });
-          degraded_at := Some step;
-          (* [select] and [select_fast] consume identical RNG draw counts
-             (the shuffle alone, probes draw nothing), so continuing with
-             the live [rng] follows the reference stream exactly. *)
-          match reference with
-          | None -> (Converged, step)
-          | Some u -> ref_move step u)
-      | `Agree -> (
-          match picked with
-          | None -> (Converged, step)
-          | Some u ->
-              if checking then begin
-                if snap = None then incr checked;
-                let fast = fast_candidates cfg ctx witness u in
-                let reference =
-                  naive_candidates cfg ~ws:(Lazy.force shadow_ws) g u
-                in
-                if Sentinel.moves_equal fast reference then
-                  match pick_from cfg rng g fast with
-                  | None -> happy_violation step u
-                  | Some e -> finish_step step u e fast_loop
-                else begin
-                  note_incident step
-                    (Sentinel.Move_set { agent = u; fast; reference });
-                  degraded_at := Some step;
-                  (* caught before any tie-break draw: picking from the
-                     reference list keeps the trajectory bit-identical to
-                     a pure reference run *)
-                  match pick_from cfg rng g reference with
-                  | None -> happy_violation step u
-                  | Some e -> finish_step step u e ref_loop
-                end
-              end
-              else
-                match choose_move cfg rng ctx witness g u with
-                | None -> happy_violation step u
-                | Some e -> finish_step step u e fast_loop)
-  (* The degraded remainder: the naive machinery verbatim (cf.
-     [Reference.run]) on the live RNG — graceful degradation, not a
-     crash. *)
-  and ref_loop step last =
-    if step >= cfg.max_steps then (Step_limit, step)
-    else if out_of_time () then (Time_limit, step)
-    else
-      match Policy.select cfg.policy ~rng ~ws cfg.model g ~last with
-      | None -> (Converged, step)
-      | Some u -> ref_move step u
-  and ref_move step u =
-    match pick_from cfg rng g (naive_candidates cfg ~ws g u) with
-    | None -> happy_violation step u
-    | Some e -> finish_step step u e ref_loop
+      with
+      | Some v -> s.stopped <- Some (Invariant_violation v)
+      | None ->
+          let continue_ () =
+            s.last <- Some u;
+            s.mode <- next_mode
+          in
+          if cfg.detect_cycles then begin
+            let key = state_key cfg.model s.g in
+            match Hashtbl.find_opt s.seen key with
+            | Some first_visit ->
+                s.stopped <-
+                  Some
+                    (Cycle_detected
+                       { first_visit; period = s.steps - first_visit })
+            | None ->
+                Hashtbl.replace s.seen key s.steps;
+                continue_ ()
+          end
+          else continue_ ())
+
+let ref_move s u =
+  match
+    pick_from s.cfg s.rng s.g (naive_candidates s.cfg ~ws:s.ws s.g u)
+  with
+  | None -> happy_violation s u
+  | Some e -> finish_step s u e ~next_mode:Mode_degraded
+
+let fast_step s =
+  let cfg = s.cfg in
+  (* One context per step.  With the incremental cache it inherits all
+     tables that survived (were kept or repaired by) the previous step's
+     patch; without, tables describe the current network only for this
+     step and are discarded wholesale.  The witness cache survives across
+     steps either way — probes revalidate. *)
+  let ctx =
+    match s.cache with
+    | Some c -> Response.Fast.of_cache s.ws cfg.model s.g c
+    | None -> Response.Fast.create s.ws cfg.model s.g
   in
-  let reason, steps = fast_loop 0 None in
+  let checking = Sentinel.due cfg.sentinel s.srng in
+  let snap =
+    if checking && Sentinel.shadows_selection cfg.policy then
+      Some (Random.State.copy s.rng)
+    else None
+  in
+  let picked =
+    Policy.select_fast cfg.policy ~rng:s.rng ~ctx ~witness:s.witness
+      ~domains:cfg.scan_domains cfg.model s.g ~last:s.last
+  in
+  let shadow_sel =
+    match snap with
+    | None -> `Agree
+    | Some shadow_rng ->
+        s.checked <- s.checked + 1;
+        let reference =
+          Policy.select cfg.policy ~rng:shadow_rng
+            ~ws:(Lazy.force s.shadow_ws) cfg.model s.g ~last:s.last
+        in
+        if reference = picked then `Agree else `Diverged reference
+  in
+  match shadow_sel with
+  | `Diverged reference -> (
+      note_incident s (Sentinel.Selection { fast = picked; reference });
+      s.degraded_at <- Some s.steps;
+      (* [select] and [select_fast] consume identical RNG draw counts
+         (the shuffle alone, probes draw nothing), so continuing with the
+         live [rng] follows the reference stream exactly. *)
+      match reference with
+      | None -> s.stopped <- Some Converged
+      | Some u -> ref_move s u)
+  | `Agree -> (
+      match picked with
+      | None -> s.stopped <- Some Converged
+      | Some u ->
+          if checking then begin
+            if snap = None then s.checked <- s.checked + 1;
+            let fast = fast_candidates cfg ctx s.witness u in
+            let reference =
+              naive_candidates cfg ~ws:(Lazy.force s.shadow_ws) s.g u
+            in
+            if Sentinel.moves_equal fast reference then
+              match pick_from cfg s.rng s.g fast with
+              | None -> happy_violation s u
+              | Some e -> finish_step s u e ~next_mode:Mode_fast
+            else begin
+              note_incident s (Sentinel.Move_set { agent = u; fast; reference });
+              s.degraded_at <- Some s.steps;
+              (* caught before any tie-break draw: picking from the
+                 reference list keeps the trajectory bit-identical to a
+                 pure reference run *)
+              match pick_from cfg s.rng s.g reference with
+              | None -> happy_violation s u
+              | Some e -> finish_step s u e ~next_mode:Mode_degraded
+            end
+          end
+          else
+            match choose_move cfg s.rng ctx s.witness s.g u with
+            | None -> happy_violation s u
+            | Some e -> finish_step s u e ~next_mode:Mode_fast)
+
+(* The degraded remainder: the naive machinery verbatim (cf.
+   [Reference.run]) on the live RNG — graceful degradation, not a
+   crash. *)
+let degraded_step s =
+  match
+    Policy.select s.cfg.policy ~rng:s.rng ~ws:s.ws s.cfg.model s.g ~last:s.last
+  with
+  | None -> s.stopped <- Some Converged
+  | Some u -> ref_move s u
+
+let stepper_advance s =
+  match s.stopped with
+  | Some _ -> ()
+  | None ->
+      if s.steps >= s.cfg.max_steps then s.stopped <- Some Step_limit
+      else if
+        match s.deadline with
+        | None -> false
+        | Some d -> Unix.gettimeofday () > d
+      then s.stopped <- Some Time_limit
+      else (
+        match s.mode with
+        | Mode_fast -> fast_step s
+        | Mode_degraded -> degraded_step s)
+
+let stepper_finish s =
+  let reason =
+    match s.stopped with
+    | Some r -> r
+    | None -> invalid_arg "Engine: stepper_finish before the trial stopped"
+  in
   let reason =
     (* Whatever the sampling level, always audit the final state. *)
     match reason with
     | Invariant_violation _ -> reason
     | Converged | Cycle_detected _ | Step_limit | Time_limit -> (
-        if cfg.audit = Audit.Off then reason
+        if s.cfg.audit = Audit.Off then reason
         else
-          match audit_graph steps with
+          match audit_graph s s.steps with
           | Some v -> Invariant_violation v
           | None -> reason)
   in
   let sentinel =
     {
-      Sentinel.checked = !checked;
-      incidents = List.rev !incidents;
-      degraded_at = !degraded_at;
+      Sentinel.checked = s.checked;
+      incidents = List.rev s.incidents;
+      degraded_at = s.degraded_at;
     }
   in
   let cache_stats =
-    match cache with
+    match s.cache with
     | Some c ->
-        let s = Distcache.stats c in
-        Distcache.add_to_totals s;
-        s
+        let st = Distcache.stats c in
+        Distcache.add_to_totals st;
+        st
     | None -> Distcache.zero_stats
   in
+  (match s.arena with
+  | Some a -> Arena.retire a ~cache_stats s.witness s.cache s.seen
+  | None -> ());
   {
     reason;
-    steps;
-    history = List.rev !history;
-    final = g;
+    steps = s.steps;
+    history = List.rev s.history;
+    final = s.g;
     sentinel;
     cache = cache_stats;
   }
+
+let run ?arena ?rng cfg initial =
+  let s = stepper_start ?arena ?rng cfg initial in
+  while s.stopped = None do
+    stepper_advance s
+  done;
+  stepper_finish s
+
+type batch_outcome = (result, exn * Printexc.raw_backtrace) Stdlib.result
+
+let run_batch ?arena cfg thunks =
+  let arena =
+    match arena with Some a -> a | None -> Arena.create (Model.n cfg.model)
+  in
+  let b = Array.length thunks in
+  let running : stepper option array = Array.make b None in
+  let out : batch_outcome option array = Array.make b None in
+  let live = ref 0 in
+  (* Trial i's (rng, graph) thunk runs exactly once, in batch order, before
+     any trial steps — matching the solo schedule where trial i's graph is
+     generated from its own stream before its run.  A thunk that raises
+     retires only its own slot. *)
+  for i = 0 to b - 1 do
+    match
+      let rng, g = thunks.(i) () in
+      stepper_start ~arena ~rng cfg g
+    with
+    | s ->
+        running.(i) <- Some s;
+        incr live
+    | exception exn ->
+        out.(i) <- Some (Error (exn, Printexc.get_raw_backtrace ()))
+  done;
+  (* Lockstep: one step of every live trial per sweep.  The completion
+     mask is [running]: a trial that stops (or raises) is finished and
+     cleared immediately, returning its pooled resources without touching
+     its siblings — their RNG streams, caches and witnesses are all
+     per-trial, and the shared workspaces are scratch that every step
+     leaves behind. *)
+  while !live > 0 do
+    for i = 0 to b - 1 do
+      match running.(i) with
+      | None -> ()
+      | Some s -> (
+          (match stepper_advance s with
+          | () -> ()
+          | exception exn ->
+              out.(i) <- Some (Error (exn, Printexc.get_raw_backtrace ()));
+              running.(i) <- None;
+              decr live);
+          match running.(i) with
+          | Some s when s.stopped <> None ->
+              (match stepper_finish s with
+              | r -> out.(i) <- Some (Ok r)
+              | exception exn ->
+                  out.(i) <- Some (Error (exn, Printexc.get_raw_backtrace ())));
+              running.(i) <- None;
+              decr live
+          | Some _ | None -> ())
+    done
+  done;
+  Array.map
+    (function Some o -> o | None -> assert false (* every slot retired *))
+    out
 
 let converged r = match r.reason with
   | Converged -> true

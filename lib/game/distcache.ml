@@ -103,6 +103,20 @@ let n t = t.n
 let threshold t = t.threshold
 let get t v = t.tables.(v)
 
+(* Return the cache to its freshly-created state so an arena can hand it to
+   the next trial: tables and profiles are dropped and the stat counters
+   zeroed, making per-trial [stats] identical to a solo run's.  The version
+   counters and repair stamps stay monotone on purpose — a skip certificate
+   from a previous trial that pinned this cache can then never validate
+   again, even if its witness escaped the matching [Witness.reset]. *)
+let reset t =
+  Array.fill t.tables 0 (Array.length t.tables) None;
+  Array.fill t.profiles 0 (Array.length t.profiles) None;
+  t.kept <- 0;
+  t.repaired <- 0;
+  t.rebuilt <- 0;
+  t.fills <- 0
+
 let set t v d =
   if Array.length d <> t.n then invalid_arg "Distcache.set: table size";
   t.fills <- t.fills + 1;

@@ -63,6 +63,13 @@ val note_removed : t -> Graph.t -> int -> int -> unit
 
 val stats : t -> stats
 
+val reset : t -> unit
+(** Return the cache to its freshly-created state — tables and profiles
+    dropped, stat counters zeroed — so an {!Engine.Arena} can hand it to
+    the next trial with per-trial [stats] identical to a solo run's.  The
+    version counters stay monotone: a {!Witness} skip certificate minted
+    against this cache in an earlier trial can never validate again. *)
+
 (** {2 Process-wide totals}
 
     Aggregated across runs (and worker domains) so [ncg_sim --verbose] can

@@ -84,6 +84,23 @@ let send_line fd json =
 (* Worker process                                                      *)
 (* ------------------------------------------------------------------ *)
 
+(* The worker's resident arena, kept across jobs and re-created only when
+   the network size changes: every no-deadline job streams its trials
+   through it in lockstep batches, so a long-lived worker pays the
+   workspace/cache/witness allocations once per size, not once per
+   trial. *)
+let worker_arena : (int * Engine.Arena.t) option ref = ref None
+
+let arena_for n =
+  match !worker_arena with
+  | Some (m, a) when m = n -> a
+  | _ ->
+      let a = Engine.Arena.create n in
+      worker_arena := Some (n, a);
+      a
+
+let batch_width = 32
+
 let run_job (job : Proto.job) ~budget =
   let n = Proto.host_n job.Proto.host in
   let host_graph =
@@ -105,39 +122,66 @@ let run_job (job : Proto.job) ~budget =
   in
   let outcomes = ref [] in
   let deadline_hit = ref false in
-  (try
-     for trial = 0 to job.Proto.trials - 1 do
-       let left = remaining () in
-       (match left with
-       | Some r when r <= 0.0 ->
-           deadline_hit := true;
-           raise Exit
-       | _ -> ());
-       (* the Runner derivation — (seed, trial, n) — so service trials
-          match a local Runner batch on the same parameters *)
-       let rng = Random.State.make [| job.Proto.seed; trial; n |] in
-       let g =
-         match host_graph with
-         | None -> Gen.random_connected rng n job.Proto.edge_prob
-         | Some h -> Gen.random_host_network rng h job.Proto.edge_prob
-       in
-       let cfg =
-         Engine.config ~policy:job.Proto.policy
-           ~tie_break:job.Proto.tie_break ~detect_cycles:true
-           ~record_history:false ?max_steps:job.Proto.max_steps
-           ?time_budget:left model
-       in
-       let result = Engine.run ~rng cfg g in
-       outcomes := Stats.outcome_of_result result :: !outcomes;
-       match result.Engine.reason with
-       | Engine.Time_limit ->
-           (* the only clock a service trial runs under is the job's
-              remaining deadline, so Time_limit means the job is out *)
-           deadline_hit := true;
-           raise Exit
-       | _ -> ()
-     done
-   with Exit -> ());
+  (* the Runner derivation — (seed, trial, n) — so service trials match a
+     local Runner batch on the same parameters *)
+  let trial_pair trial () =
+    let rng = Random.State.make [| job.Proto.seed; trial; n |] in
+    let g =
+      match host_graph with
+      | None -> Gen.random_connected rng n job.Proto.edge_prob
+      | Some h -> Gen.random_host_network rng h job.Proto.edge_prob
+    in
+    (rng, g)
+  in
+  let cfg ?time_budget () =
+    Engine.config ~policy:job.Proto.policy ~tie_break:job.Proto.tie_break
+      ~detect_cycles:true ~record_history:false
+      ?max_steps:job.Proto.max_steps ?time_budget model
+  in
+  let arena = arena_for n in
+  (match budget with
+  | None ->
+      (* No deadline: stream the trials through the resident arena in
+         lockstep batches — outcomes are bit-identical to the historical
+         one-engine-per-trial loop.  A raising trial fails the whole job,
+         exactly as it did when the loop let the exception escape. *)
+      let cfg = cfg () in
+      let trial = ref 0 in
+      while !trial < job.Proto.trials do
+        let width = min batch_width (job.Proto.trials - !trial) in
+        let thunks = Array.init width (fun i -> trial_pair (!trial + i)) in
+        Array.iter
+          (function
+            | Ok r -> outcomes := Stats.outcome_of_result r :: !outcomes
+            | Error (exn, backtrace) ->
+                Printexc.raise_with_backtrace exn backtrace)
+          (Engine.run_batch ~arena cfg thunks);
+        trial := !trial + width
+      done
+  | Some _ ->
+      (* Deadline path: strictly sequential so each trial runs under the
+         budget left after its predecessors, as deadline semantics
+         require — the arena still amortizes allocations. *)
+      (try
+         for trial = 0 to job.Proto.trials - 1 do
+           let left = remaining () in
+           (match left with
+           | Some r when r <= 0.0 ->
+               deadline_hit := true;
+               raise Exit
+           | _ -> ());
+           let rng, g = trial_pair trial () in
+           let result = Engine.run ~arena ~rng (cfg ?time_budget:left ()) g in
+           outcomes := Stats.outcome_of_result result :: !outcomes;
+           match result.Engine.reason with
+           | Engine.Time_limit ->
+               (* the only clock a service trial runs under is the job's
+                  remaining deadline, so Time_limit means the job is out *)
+               deadline_hit := true;
+               raise Exit
+           | _ -> ()
+         done
+       with Exit -> ()));
   let summary =
     Proto.summary_to_json (Stats.summarize_outcomes (List.rev !outcomes))
   in
@@ -161,6 +205,22 @@ let run_job_line line =
           match run_job job ~budget with
           | r -> (id, r)
           | exception exn -> (id, Proto.Failed (Printexc.to_string exn))))
+
+(* The worker's cumulative arena totals, attached to every result frame
+   so the daemon can surface per-worker batch cache behavior through the
+   [stats] op.  Cumulative since the worker process started — a respawned
+   worker starts over, and the daemon always keeps the latest frame. *)
+let arena_totals_json () =
+  let t = Engine.Arena.totals () in
+  Json.Obj
+    [
+      ("arenas", Json.Int t.Engine.Arena.arenas);
+      ("batched_trials", Json.Int t.Engine.Arena.batched_trials);
+      ("kept", Json.Int t.Engine.Arena.cache.Distcache.kept);
+      ("repaired", Json.Int t.Engine.Arena.cache.Distcache.repaired);
+      ("rebuilt", Json.Int t.Engine.Arena.cache.Distcache.rebuilt);
+      ("fills", Json.Int t.Engine.Arena.cache.Distcache.fills);
+    ]
 
 let worker_main ~slot ~lease_dir ~heartbeat_interval () =
   let pid = Unix.getpid () in
@@ -188,7 +248,9 @@ let worker_main ~slot ~lease_dir ~heartbeat_interval () =
     | None -> ()
     | Some line ->
         let id, result = run_job_line line in
-        send_line Unix.stdout (Proto.worker_result_to_json ~id result);
+        send_line Unix.stdout
+          (Proto.worker_result_to_json ~batch:(arena_totals_json ()) ~id
+             result);
         loop ()
   in
   (try loop () with Unix.Unix_error _ -> ());
@@ -228,6 +290,8 @@ type slot = {
   mutable to_worker : Unix.file_descr;
   mutable alive : bool;
   mutable job : job option;
+  mutable batch_stats : Json.t option;
+      (* latest cumulative arena totals reported by this slot's worker *)
 }
 
 type t = {
@@ -400,6 +464,10 @@ let rec worker_reader t slot pid rdr =
           | Error _ -> ()
           | Ok (id, result) ->
               Mutex.lock t.mu;
+              (match Json.member "batch" j with
+              | Some b when slot.alive && slot.pid = pid ->
+                  slot.batch_stats <- Some b
+              | _ -> ());
               (if slot.alive && slot.pid = pid then
                  match slot.job with
                  | Some job when job.id = id ->
@@ -668,13 +736,39 @@ let health_json t =
       (Array.map
          (fun s ->
            Json.Obj
-             [
-               ("slot", Json.Int s.index);
-               ("pid", Json.Int s.pid);
-               ("alive", Json.Bool s.alive);
-               ("busy", Json.Bool (s.job <> None));
-             ])
+             ([
+                ("slot", Json.Int s.index);
+                ("pid", Json.Int s.pid);
+                ("alive", Json.Bool s.alive);
+                ("busy", Json.Bool (s.job <> None));
+              ]
+             @
+             match s.batch_stats with
+             | Some b -> [ ("batch", b) ]
+             | None -> []))
          t.slots)
+  in
+  (* Sum of the latest per-worker arena totals — each worker's numbers are
+     cumulative for its own process, so latest-per-slot sums without
+     double-counting (a respawned worker restarts its own count). *)
+  let batch_total =
+    let field name j =
+      match Option.bind (Json.member name j) Json.to_int with
+      | Some v -> v
+      | None -> 0
+    in
+    let sum name =
+      Array.fold_left
+        (fun acc s ->
+          match s.batch_stats with
+          | Some b -> acc + field name b
+          | None -> acc)
+        0 t.slots
+    in
+    Json.Obj
+      (List.map
+         (fun name -> (name, Json.Int (sum name)))
+         [ "arenas"; "batched_trials"; "kept"; "repaired"; "rebuilt"; "fills" ])
   in
   let reply =
     Json.Obj
@@ -684,6 +778,7 @@ let health_json t =
         ("queue_depth", Json.Int (Queue.length t.queue));
         ("backoff", Json.Int (List.length t.backoff));
         ("workers", Json.List workers);
+        ("batch", batch_total);
         ( "cache",
           Json.Obj
             [
@@ -882,6 +977,7 @@ let serve cfg =
               to_worker = Unix.stdin;
               alive = false;
               job = None;
+              batch_stats = None;
             });
       cache = Cache.create cfg.cache_capacity;
       metrics = Metrics.create ();

@@ -346,28 +346,35 @@ let worker_job ~id ~host ~budget job =
 
 type worker_result = Done of Json.t | Deadline of Json.t | Failed of string
 
-let worker_result_to_json ~id = function
+let worker_result_to_json ?batch ~id result =
+  let batch_field =
+    match batch with Some b -> [ ("batch", b) ] | None -> []
+  in
+  match result with
   | Done summary ->
       Json.Obj
-        [
-          ("job_id", Json.Int id);
-          ("status", Json.Str "completed");
-          ("summary", summary);
-        ]
+        ([
+           ("job_id", Json.Int id);
+           ("status", Json.Str "completed");
+           ("summary", summary);
+         ]
+        @ batch_field)
   | Deadline summary ->
       Json.Obj
-        [
-          ("job_id", Json.Int id);
-          ("status", Json.Str "deadline_exceeded");
-          ("summary", summary);
-        ]
+        ([
+           ("job_id", Json.Int id);
+           ("status", Json.Str "deadline_exceeded");
+           ("summary", summary);
+         ]
+        @ batch_field)
   | Failed message ->
       Json.Obj
-        [
-          ("job_id", Json.Int id);
-          ("status", Json.Str "error");
-          ("message", Json.Str message);
-        ]
+        ([
+           ("job_id", Json.Int id);
+           ("status", Json.Str "error");
+           ("message", Json.Str message);
+         ]
+        @ batch_field)
 
 let worker_result_of_json j =
   match (Json.member "job_id" j, Json.member "status" j) with

@@ -107,11 +107,17 @@ type worker_result =
   | Deadline of Json.t  (** partial summary: the budget ran out mid-job *)
   | Failed of string
 
-val worker_result_to_json : id:int -> worker_result -> Json.t
+val worker_result_to_json : ?batch:Json.t -> id:int -> worker_result -> Json.t
+(** [batch], when given, rides along as a ["batch"] field — the worker's
+    cumulative arena totals ({!Engine.Arena.totals} since the worker
+    process started), which the daemon surfaces through the [stats] op.
+    Absent on historical frames; parsers must tolerate both. *)
 
 val worker_result_of_json :
   Json.t -> (int * worker_result, string) result
-(** [(job id, result)] from a worker's stdout line. *)
+(** [(job id, result)] from a worker's stdout line.  The optional
+    ["batch"] field is not part of the typed result — the daemon reads it
+    straight off the frame. *)
 
 val summary_to_json : Stats.summary -> Json.t
 (** [avg_steps] is [null] when no trial converged ([nan] has no JSON

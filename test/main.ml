@@ -21,6 +21,7 @@ let () =
       Suite_instances.suite;
       Suite_search.suite;
       Suite_experiments.suite;
+      Suite_batch.suite;
       Suite_fleet.suite;
       Suite_service.suite;
     ]
