@@ -88,14 +88,22 @@ let incident_log =
   Arg.(
     value & opt (some string) None & info [ "incident-log" ] ~docv:"FILE" ~doc)
 
+let frame_timeout =
+  let doc =
+    "Tear down a client that leaves a request frame unterminated this long \
+     (slow-loris defence; 0 disables)."
+  in
+  Arg.(value & opt float 30.0 & info [ "frame-timeout" ] ~docv:"SECS" ~doc)
+
 let serve socket workers lease_dir max_queue max_wait max_attempts retry_base
     heartbeat_interval heartbeat_timeout deadline_grace drain_grace
-    cache_capacity canon_budget max_n incident_log =
+    cache_capacity canon_budget max_n incident_log frame_timeout =
   let incidents = Option.map (fun p -> Incident_log.open_ p) incident_log in
   let cfg =
     Daemon.config ~workers ~max_queue ~max_wait ~max_attempts ~retry_base
       ~heartbeat_interval ~heartbeat_timeout ~deadline_grace ~drain_grace
-      ~cache_capacity ~canon_budget ~max_n ?incidents ~socket_path:socket
+      ~cache_capacity ~canon_budget ~max_n ?incidents ~frame_timeout
+      ~socket_path:socket
       ~worker_argv:[| Sys.executable_name; "--worker" |]
       ~lease_dir ()
   in
@@ -112,6 +120,6 @@ let cmd =
       const serve $ socket $ workers $ lease_dir $ max_queue $ max_wait
       $ max_attempts $ retry_base $ heartbeat_interval $ heartbeat_timeout
       $ deadline_grace $ drain_grace $ cache_capacity $ canon_budget $ max_n
-      $ incident_log)
+      $ incident_log $ frame_timeout)
 
 let () = exit (Cmd.eval cmd)

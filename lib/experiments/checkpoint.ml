@@ -15,7 +15,7 @@ let empty_report =
 
 type t = {
   path : string;
-  oc : out_channel;
+  fd : Unix.file_descr;
   loaded : (string * int, Stats.outcome) Hashtbl.t;
   report : load_report;
 }
@@ -302,26 +302,54 @@ let sanitize_key key =
 
 (* Write a complete v2 file (header + the given records) to a temp file and
    rename it over [path]: whoever observes [path] sees either the old file
-   or the complete new one, never a torn header. *)
+   or the complete new one, never a torn header.  The temp file is fsynced
+   before the rename (otherwise a power failure can publish a name whose
+   bytes never reached the disk) and the parent directory after it (the
+   rename itself is a directory-entry update).  Error cleanup uses raw
+   [Unix] calls on purpose: under an armed fault plan, injected faults must
+   not cascade into the cleanup path. *)
 let write_atomically path fingerprint records =
   let tmp = path ^ ".tmp" in
-  let oc = open_out tmp in
+  let fd = Sysx.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   (try
-     Printf.fprintf oc "%s\t%s\n" magic_v2 (String.escaped fingerprint);
+     let buf = Buffer.create 4096 in
+     Buffer.add_string buf
+       (Printf.sprintf "%s\t%s\n" magic_v2 (String.escaped fingerprint));
      List.iter
        (fun ((key, trial), outcome) ->
-         output_string oc (frame (encode_record ~key ~trial outcome));
-         output_char oc '\n')
+         Buffer.add_string buf (frame (encode_record ~key ~trial outcome));
+         Buffer.add_char buf '\n')
        records;
-     flush oc;
-     close_out oc
+     Sysx.write_all fd (Buffer.to_bytes buf);
+     Sysx.fsync fd;
+     Sysx.close fd
    with e ->
-     close_out_noerr oc;
-     (try Sys.remove tmp with Sys_error _ -> ());
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     (try Unix.unlink tmp with Unix.Unix_error _ -> ());
      raise e);
-  Sys.rename tmp path
+  (try Sysx.rename tmp path
+   with e ->
+     (try Unix.unlink tmp with Unix.Unix_error _ -> ());
+     raise e);
+  Sysx.fsync_dir (Filename.dirname path)
 
-let open_ ?(resume = false) ~fingerprint path =
+(* A [path.tmp] on open means a writer died between creating the temp file
+   and renaming it into place (the rename would have consumed it).  Its
+   contents are untrusted by construction; remove it rather than let dead
+   writers accumulate, and say so. *)
+let sweep_tmp ?incidents path =
+  let tmp = path ^ ".tmp" in
+  if Sys.file_exists tmp then begin
+    (try Sysx.unlink tmp with Unix.Unix_error _ -> ());
+    match incidents with
+    | Some log ->
+        Incident_log.record log
+          (Incident_log.Stale_tmp_swept { path = tmp; owner = None })
+    | None -> ()
+  end
+
+let open_ ?(resume = false) ?incidents ~fingerprint path =
+  sweep_tmp ?incidents path;
   let existing = resume && Sys.file_exists path in
   let loaded, report =
     if existing then load_existing path fingerprint
@@ -334,10 +362,12 @@ let open_ ?(resume = false) ~fingerprint path =
       (if existing then
          Hashtbl.fold (fun k o acc -> (k, o) :: acc) loaded []
        else []);
-  let oc = open_out_gen [ Open_append; Open_creat ] 0o644 path in
-  { path; oc; loaded; report }
+  let fd =
+    Sysx.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+  in
+  { path; fd; loaded; report }
 
-let close t = close_out_noerr t.oc
+let close t = try Sysx.close t.fd with Unix.Unix_error _ -> ()
 
 let completed t ~key =
   let key = sanitize_key key in
@@ -346,11 +376,13 @@ let completed t ~key =
       if k = key then (trial, outcome) :: acc else acc)
     t.loaded []
 
+(* One O_APPEND write(2) per record, unbuffered: the record is in the
+   kernel when [record] returns, and a crash mid-call tears at most this
+   one line — which the CRC framing catches on the next load. *)
 let record t ~key ~trial outcome =
-  output_string t.oc
-    (frame (encode_record ~key:(sanitize_key key) ~trial outcome));
-  output_char t.oc '\n';
-  flush t.oc
+  Sysx.write_all t.fd
+    (Bytes.of_string
+       (frame (encode_record ~key:(sanitize_key key) ~trial outcome) ^ "\n"))
 
 let pp_load_report fmt r =
   Format.fprintf fmt "%d record%s loaded" r.records

@@ -52,13 +52,17 @@ type load_report = {
   migrated_from_v1 : bool;
 }
 
-val open_ : ?resume:bool -> fingerprint:string -> string -> t
+val open_ :
+  ?resume:bool -> ?incidents:Incident_log.t -> fingerprint:string -> string -> t
 (** [open_ ~fingerprint path] starts a fresh checkpoint, truncating any
     existing file; the header reaches [path] atomically (temp-file +
-    rename).  With [~resume:true] an existing file's records are loaded
-    first — see {!load_report} for what was recovered — and subsequent
-    records are appended; a v1 file is migrated to v2 in place
-    (atomically) before appending.
+    fsync + rename + parent-directory fsync).  With [~resume:true] an
+    existing file's records are loaded first — see {!load_report} for
+    what was recovered — and subsequent records are appended; a v1 file
+    is migrated to v2 in place (atomically) before appending.  A stale
+    [path.tmp] left by a writer that died before its rename is swept
+    first, recorded as a {!Incident_log.event.Stale_tmp_swept} event
+    when [?incidents] is given.
     @raise Failure on resume if the file belongs to a different sweep
     configuration (fingerprint mismatch) or is not a checkpoint file. *)
 
@@ -78,10 +82,21 @@ val completed : t -> key:string -> (int * Stats.outcome) list
     checkpoint was opened with [~resume:true] on an existing file. *)
 
 val record : t -> key:string -> trial:int -> Stats.outcome -> unit
-(** Appends one completed trial and flushes, so the record survives an
-    interruption immediately after. *)
+(** Appends one completed trial as a single unbuffered [write(2)], so
+    the record is in the kernel when this returns and survives an
+    interruption immediately after; a crash {e during} the call tears at
+    most this one CRC-framed line. *)
 
 val path : t -> string
+
+val write_atomically :
+  string -> string -> ((string * int) * Stats.outcome) list -> unit
+(** [write_atomically path fingerprint records] replaces [path] with a
+    complete v2 file holding [records]: temp file, fsync, rename, parent
+    directory fsync.  Readers see the old file or the new one, never a
+    mixture — the crash-consistency oracle drives every syscall of this
+    sequence under injected faults.  (Also the primitive behind
+    {!open_}'s fresh-start and v1-migration paths.) *)
 
 val pp_load_report : Format.formatter -> load_report -> unit
 (** One human-readable line per corruption, plus the totals. *)

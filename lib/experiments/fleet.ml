@@ -85,7 +85,10 @@ let worker ~dir ~fingerprint ~shard ~key ~seed ~trials ~heartbeat_interval
       (* A predecessor may have died mid-shard: resume its checkpoint so
          surviving trials are loaded, not rerun (a fresh open_ would
          truncate them). *)
-      let cp = Checkpoint.open_ ~resume:(Sys.file_exists ck) ~fingerprint ck in
+      let cp =
+        Checkpoint.open_ ~resume:(Sys.file_exists ck) ?incidents ~fingerprint
+          ck
+      in
       match
         Fun.protect
           ~finally:(fun () -> Checkpoint.close cp)
@@ -186,6 +189,9 @@ let merge cfg ~nshards =
 let supervise cfg =
   if cfg.workers < 1 then invalid_arg "Fleet.supervise: workers < 1";
   ensure_dir cfg.dir;
+  (* takeover hygiene: previous fleets' SIGKILLed writers may have left
+     pid-unique lease temp files behind *)
+  ignore (Lease.sweep_stale ~dir:cfg.dir ?incidents:cfg.incidents ());
   let ranges = plan ~trials:cfg.trials ~shards:cfg.shards in
   let nshards = Array.length ranges in
   let incident e =

@@ -25,9 +25,10 @@ type event =
       attempt : int;
       cause : string;
     }
+  | Stale_tmp_swept of { path : string; owner : int option }
 
 let open_fd path =
-  Unix.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
+  Sysx.openfile path [ Unix.O_WRONLY; Unix.O_APPEND; Unix.O_CREAT ] 0o644
 
 let open_ ?rotation path =
   (match rotation with
@@ -36,7 +37,7 @@ let open_ ?rotation path =
   | _ -> ());
   { path; fd = open_fd path; rotation }
 
-let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()
+let close t = try Sysx.close t.fd with Unix.Unix_error _ -> ()
 
 let path t = t.path
 
@@ -158,6 +159,14 @@ let json_of_event = function
           ("attempt", string_of_int attempt);
           ("cause", json_string cause);
         ]
+  | Stale_tmp_swept { path; owner } ->
+      obj
+        (("event", json_string "stale_tmp_swept")
+        :: ("path", json_string path)
+        ::
+        (match owner with
+        | Some pid -> [ ("owner", string_of_int pid) ]
+        | None -> []))
 
 (* ------------------------------------------------------------------ *)
 (* Rotation                                                            *)
@@ -171,13 +180,14 @@ let segment t i = Printf.sprintf "%s.%d" t.path i
    because each record is one O_APPEND write.  Rotation therefore never
    tears a record, whoever performs it. *)
 let rotate t r =
-  (try Sys.remove (segment t r.keep) with Sys_error _ -> ());
+  (try Sysx.unlink (segment t r.keep) with Unix.Unix_error _ -> ());
   for i = r.keep - 1 downto 1 do
     if Sys.file_exists (segment t i) then (
-      try Sys.rename (segment t i) (segment t (i + 1)) with Sys_error _ -> ())
+      try Sysx.rename (segment t i) (segment t (i + 1))
+      with Unix.Unix_error _ -> ())
   done;
-  (try Sys.rename t.path (segment t 1) with Sys_error _ -> ());
-  (try Unix.close t.fd with Unix.Unix_error _ -> ());
+  (try Sysx.rename t.path (segment t 1) with Unix.Unix_error _ -> ());
+  (try Sysx.close t.fd with Unix.Unix_error _ -> ());
   t.fd <- open_fd t.path
 
 let same_file a b =

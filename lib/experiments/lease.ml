@@ -53,21 +53,32 @@ let decode payload =
    process — the worker (heartbeating) and the supervisor (reassigning)
    may both save concurrently, and two processes sharing one temp path
    could interleave a write with the other's rename.  Rename itself is
-   atomic, so readers always see a complete lease; last writer wins. *)
+   atomic, so readers always see a complete lease; last writer wins.
+   The temp file is fsynced before the rename and the directory entry
+   after it: the lease is the fencing token, so a published lease whose
+   bytes could vanish in a power failure would let a fenced-out worker
+   resurrect.  Cleanup on error is raw [Unix] so injected faults don't
+   cascade. *)
 let save ~dir ~fingerprint t =
   let p = path ~dir ~shard:t.shard in
   let tmp = Printf.sprintf "%s.%d.tmp" p (Unix.getpid ()) in
-  let oc = open_out tmp in
+  let fd = Sysx.openfile tmp [ Unix.O_WRONLY; Unix.O_CREAT; Unix.O_TRUNC ] 0o644 in
   (try
-     Printf.fprintf oc "%s\t%s\n%s\n" magic (String.escaped fingerprint)
-       (Checkpoint.frame (encode t));
-     flush oc;
-     close_out oc
+     Sysx.write_all fd
+       (Bytes.of_string
+          (Printf.sprintf "%s\t%s\n%s\n" magic (String.escaped fingerprint)
+             (Checkpoint.frame (encode t))));
+     Sysx.fsync fd;
+     Sysx.close fd
    with e ->
-     close_out_noerr oc;
-     (try Sys.remove tmp with Sys_error _ -> ());
+     (try Unix.close fd with Unix.Unix_error _ -> ());
+     (try Unix.unlink tmp with Unix.Unix_error _ -> ());
      raise e);
-  Sys.rename tmp p
+  (try Sysx.rename tmp p
+   with e ->
+     (try Unix.unlink tmp with Unix.Unix_error _ -> ());
+     raise e);
+  Sysx.fsync_dir dir
 
 let load ~dir ~fingerprint ~shard =
   let p = path ~dir ~shard in
@@ -100,3 +111,52 @@ let load ~dir ~fingerprint ~shard =
 
 let expired ~now ~timeout t =
   t.status = Running && now -. t.heartbeat > timeout
+
+(* [name.lease.<pid>.tmp] -> pid, for names following [save]'s temp
+   naming scheme. *)
+let tmp_owner name =
+  match Filename.check_suffix name ".tmp" with
+  | false -> None
+  | true -> (
+      let base = Filename.chop_suffix name ".tmp" in
+      match String.rindex_opt base '.' with
+      | Some i
+        when i > 0
+             && Filename.check_suffix (String.sub base 0 i) ".lease" ->
+          int_of_string_opt
+            (String.sub base (i + 1) (String.length base - i - 1))
+      | _ -> None)
+
+let alive pid =
+  match Unix.kill pid 0 with
+  | () -> true
+  | exception Unix.Unix_error (Unix.ESRCH, _, _) -> false
+  (* EPERM: the pid exists but belongs to someone else — treat as alive,
+     never sweep a file we cannot prove orphaned *)
+  | exception Unix.Unix_error _ -> true
+
+(* A SIGKILLed worker dies between creating its pid-unique temp file and
+   renaming it over the lease; nothing ever consumes that temp, so a
+   long-lived fleet directory accumulates them silently.  Sweep the ones
+   whose recorded owner is verifiably dead. *)
+let sweep_stale ~dir ?incidents () =
+  match Sys.readdir dir with
+  | exception Sys_error _ -> 0
+  | names ->
+      Array.fold_left
+        (fun swept name ->
+          match tmp_owner name with
+          | Some pid when not (alive pid) -> (
+              let p = Filename.concat dir name in
+              match Sysx.unlink p with
+              | () ->
+                  (match incidents with
+                  | Some log ->
+                      Incident_log.record log
+                        (Incident_log.Stale_tmp_swept
+                           { path = p; owner = Some pid })
+                  | None -> ());
+                  swept + 1
+              | exception Unix.Unix_error _ -> swept)
+          | _ -> swept)
+        0 names

@@ -35,9 +35,11 @@ val path : dir:string -> shard:int -> string
 (** [dir/shard-NNNN.lease]. *)
 
 val save : dir:string -> fingerprint:string -> t -> unit
-(** Atomically replaces the lease file (unique temp + rename); safe to
-    call concurrently from the worker and the supervisor — last writer
-    wins, readers never see a partial file. *)
+(** Atomically replaces the lease file (unique temp + fsync + rename +
+    directory fsync); safe to call concurrently from the worker and the
+    supervisor — last writer wins, readers never see a partial file, and
+    a published lease survives power failure (it is the fencing token,
+    so losing it could resurrect a fenced-out worker). *)
 
 val load : dir:string -> fingerprint:string -> shard:int -> (t, string) result
 (** Reads and verifies the lease: header fingerprint, CRC frame, payload
@@ -49,3 +51,13 @@ val expired : now:float -> timeout:float -> t -> bool
     the other half). *)
 
 val status_label : status -> string
+
+val sweep_stale : dir:string -> ?incidents:Incident_log.t -> unit -> int
+(** Removes [shard-NNNN.lease.<pid>.tmp] files whose recorded writer pid
+    no longer exists — the droppings of a SIGKILLed worker that died
+    between creating its temp file and renaming it into place.  Temp
+    files of {e live} pids (a save in flight right now) are left alone,
+    as is anything whose owner cannot be proven dead ([EPERM]).  Each
+    sweep is recorded as a {!Incident_log.event.Stale_tmp_swept} event
+    when [?incidents] is given; returns the number removed.  A missing
+    or unreadable [dir] sweeps nothing. *)

@@ -18,14 +18,15 @@ type config = {
   max_n : int;
   incidents : Incident_log.t option;
   tick_interval : float;
+  frame_timeout : float;
 }
 
 let config ?(workers = 2) ?(max_queue = 64) ?(max_wait = 30.0)
     ?(max_attempts = 3) ?(retry_base = 0.25) ?(heartbeat_interval = 0.5)
     ?(heartbeat_timeout = 3.0) ?(deadline_grace = 1.0) ?(drain_grace = 30.0)
     ?(cache_capacity = 512) ?(canon_budget = 200_000) ?(max_n = 96)
-    ?incidents ?(tick_interval = 0.05) ~socket_path ~worker_argv ~lease_dir ()
-    =
+    ?incidents ?(tick_interval = 0.05) ?(frame_timeout = 30.0) ~socket_path
+    ~worker_argv ~lease_dir () =
   if workers < 1 then invalid_arg "Daemon.config: workers must be >= 1";
   if max_queue < 1 then invalid_arg "Daemon.config: max_queue must be >= 1";
   if max_attempts < 1 then
@@ -48,6 +49,7 @@ let config ?(workers = 2) ?(max_queue = 64) ?(max_wait = 30.0)
     max_n;
     incidents;
     tick_interval;
+    frame_timeout;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -55,26 +57,55 @@ let config ?(workers = 2) ?(max_queue = 64) ?(max_wait = 30.0)
 (* ------------------------------------------------------------------ *)
 
 module Line_reader = struct
-  type t = { fd : Unix.file_descr; buf : Buffer.t; chunk : Bytes.t }
+  exception Stalled
 
-  let create fd = { fd; buf = Buffer.create 4096; chunk = Bytes.create 4096 }
+  type t = {
+    fd : Unix.file_descr;
+    buf : Buffer.t;
+    chunk : Bytes.t;
+    mutable frame_started : float;  (* monotonic; 0.0 = not mid-frame *)
+  }
+
+  let create fd =
+    { fd; buf = Buffer.create 4096; chunk = Bytes.create 4096;
+      frame_started = 0.0 }
 
   (* [None] on EOF; a final unterminated line is dropped (a torn frame
-     from a killed peer is not a message). *)
-  let rec line t =
+     from a killed peer is not a message).  With [frame_timeout] > 0 a
+     peer that starts a frame and then stalls raises {!Stalled} once the
+     frame is [frame_timeout] seconds old — the slow-loris defence.  An
+     {e idle} peer (no bytes buffered) may stay silent forever; only a
+     partial frame starts the clock. *)
+  let rec line ?(frame_timeout = 0.0) t =
     let s = Buffer.contents t.buf in
     match String.index_opt s '\n' with
     | Some i ->
         Buffer.clear t.buf;
         Buffer.add_substring t.buf s (i + 1) (String.length s - i - 1);
+        t.frame_started <- 0.0;
         Some (String.sub s 0 i)
     | None ->
-        let k = Sysx.read t.fd t.chunk 0 (Bytes.length t.chunk) in
-        if k = 0 then None
-        else begin
-          Buffer.add_subbytes t.buf t.chunk 0 k;
-          line t
+        if frame_timeout > 0.0 && Buffer.length t.buf > 0 then begin
+          if t.frame_started = 0.0 then t.frame_started <- Clock.monotonic ();
+          let remaining =
+            t.frame_started +. frame_timeout -. Clock.monotonic ()
+          in
+          if remaining <= 0.0 then raise Stalled;
+          match Unix.select [ t.fd ] [] [] remaining with
+          | exception Unix.Unix_error (Unix.EINTR, _, _) ->
+              line ~frame_timeout t
+          | [], _, _ -> raise Stalled
+          | _ -> read_chunk frame_timeout t
         end
+        else read_chunk frame_timeout t
+
+  and read_chunk frame_timeout t =
+    let k = Sysx.read t.fd t.chunk 0 (Bytes.length t.chunk) in
+    if k = 0 then None
+    else begin
+      Buffer.add_subbytes t.buf t.chunk 0 k;
+      line ~frame_timeout t
+    end
 end
 
 let send_line fd json =
@@ -823,7 +854,13 @@ let client_loop t fd =
   let conn = { fd; wmu = Mutex.create (); wclosed = false; eof = false; pending = 0 } in
   let rdr = Line_reader.create fd in
   let rec loop () =
-    match Line_reader.line rdr with
+    match Line_reader.line ~frame_timeout:t.cfg.frame_timeout rdr with
+    | exception Line_reader.Stalled ->
+        (* slow-loris: a frame begun and never finished — count it and
+           tear the connection down (owed outcomes still flush first) *)
+        Mutex.lock t.mu;
+        Metrics.incr t.metrics "stalled_conns";
+        Mutex.unlock t.mu
     | exception _ -> ()
     | None -> ()
     | Some line ->
@@ -960,6 +997,9 @@ let accept_loop t fd =
 let serve cfg =
   Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
   mkdir_p cfg.lease_dir;
+  (* previous daemon generations' SIGKILLed workers may have left
+     pid-unique lease temp files behind *)
+  ignore (Lease.sweep_stale ~dir:cfg.lease_dir ?incidents:cfg.incidents ());
   (try Unix.unlink cfg.socket_path with Unix.Unix_error _ -> ());
   mkdir_p (Filename.dirname cfg.socket_path);
   let t =

@@ -59,6 +59,11 @@ type config = {
   max_n : int;  (** largest admissible host graph *)
   incidents : Incident_log.t option;
   tick_interval : float;  (** supervisor poll period *)
+  frame_timeout : float;
+      (** slow-loris defence: a client that starts a request frame and
+          leaves it unterminated for this many seconds is torn down
+          (counted in the [stalled_conns] metric).  Idle connections
+          with no partial frame are unaffected; 0 disables. *)
 }
 
 val config :
@@ -76,6 +81,7 @@ val config :
   ?max_n:int ->
   ?incidents:Incident_log.t ->
   ?tick_interval:float ->
+  ?frame_timeout:float ->
   socket_path:string ->
   worker_argv:string array ->
   lease_dir:string ->
@@ -84,7 +90,8 @@ val config :
 (** Defaults: 2 workers, queue bound 64, wait bound 30s, 3 attempts,
     0.25s retry base, 0.5s/3s heartbeats, 1s deadline grace, 30s drain
     grace, 512 cache entries, the {!Canonical.normal_form} default
-    budget, hosts up to 96 vertices, no incident log, 50ms ticks. *)
+    budget, hosts up to 96 vertices, no incident log, 50ms ticks, 30s
+    frame timeout. *)
 
 val serve : config -> int
 (** Runs the daemon until drained; returns the exit code the process

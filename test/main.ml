@@ -3,6 +3,7 @@
    The binary doubles as the fleet suite's worker subprocess: when invoked
    with its child-mode flag it runs that mode and exits here, before
    alcotest can object to the unknown arguments. *)
+let () = Suite_faulty.maybe_run_child ()
 let () = Suite_fleet.maybe_run_child ()
 let () = Suite_service.maybe_run_child ()
 
@@ -22,6 +23,7 @@ let () =
       Suite_search.suite;
       Suite_experiments.suite;
       Suite_batch.suite;
+      Suite_faulty.suite;
       Suite_fleet.suite;
       Suite_service.suite;
     ]

@@ -72,10 +72,10 @@ let maybe_run_child () =
 (* ------------------------------------------------------------------ *)
 
 let daemon_config ?(workers = 1) ?max_queue ?max_wait ?(max_attempts = 3)
-    ?(retry_base = 0.05) ?deadline_grace dir =
+    ?(retry_base = 0.05) ?deadline_grace ?frame_timeout dir =
   Daemon.config ~workers ?max_queue ?max_wait ~max_attempts ~retry_base
     ~heartbeat_interval:0.05 ~heartbeat_timeout:1.0 ?deadline_grace
-    ~drain_grace:10.0 ~tick_interval:0.01
+    ?frame_timeout ~drain_grace:10.0 ~tick_interval:0.01
     ~socket_path:(Filename.concat dir "ncg.sock")
     ~worker_argv:[| Sys.executable_name; child_flag; "worker" |]
     ~lease_dir:(Filename.concat dir "leases")
@@ -411,6 +411,85 @@ let test_sigterm_drains_and_exits_143 () =
       try Unix.close fd with Unix.Unix_error _ -> ())
 
 (* ------------------------------------------------------------------ *)
+(* Wire-frame robustness (Sysx.Faulty short reads, slow-loris)         *)
+(* ------------------------------------------------------------------ *)
+
+(* a request frame must survive arriving in arbitrary fragments: the
+   client dribbles it out in 3-byte writes while an injected short-read
+   plan caps every read(2) in the process — daemon accept loop, worker
+   pipes, and our own client — at 3 bytes, so reassembly happens at
+   every boundary a real network could produce *)
+let test_frames_survive_arbitrary_split () =
+  with_temp_dir (fun dir ->
+      let cfg = daemon_config ~workers:1 dir in
+      let (), _ =
+        with_daemon cfg (fun () ->
+            let c = connect cfg in
+            Fun.protect
+              ~finally:(fun () -> close c)
+              (fun () ->
+                Sysx.Faulty.arm
+                  [
+                    { Sysx.Faulty.op = Sysx.Faulty.Read; where = None; at = 0;
+                      act = Sysx.Faulty.Short 3 };
+                  ];
+                Fun.protect ~finally:Sysx.Faulty.disarm (fun () ->
+                    let line = submit_line ~n:6 ~trials:2 () ^ "\n" in
+                    let b = Bytes.of_string line in
+                    let off = ref 0 in
+                    while !off < Bytes.length b do
+                      let k = min 3 (Bytes.length b - !off) in
+                      Sysx.write_all c.fd (Bytes.sub b !off k);
+                      off := !off + k
+                    done;
+                    let o = next_outcome c in
+                    check_str "fragmented frame still completes" "completed"
+                      (Option.value (reply_status o) ~default:"?"))))
+      in
+      ())
+
+(* a connection that buffers half a frame and then goes silent must not
+   hold its handler thread hostage: the per-frame deadline closes it and
+   counts it, while idle and fresh connections are unaffected *)
+let test_slow_loris_disconnected () =
+  with_temp_dir (fun dir ->
+      let cfg = daemon_config ~workers:1 ~frame_timeout:0.3 dir in
+      let (), _ =
+        with_daemon cfg (fun () ->
+            let loris = connect cfg in
+            Fun.protect
+              ~finally:(fun () -> close loris)
+              (fun () ->
+                (* half a frame, then silence *)
+                Sysx.write_all loris.fd (Bytes.of_string "{\"op\":\"hea");
+                let t0 = Clock.monotonic () in
+                let k =
+                  Sysx.read loris.fd loris.chunk 0 (Bytes.length loris.chunk)
+                in
+                let dt = Clock.monotonic () -. t0 in
+                check_int "daemon hung up on the stalled frame" 0 k;
+                check "at the frame deadline, not the drain" true (dt < 5.0);
+                (* the daemon is fine: a fresh connection gets served and
+                   the stall was counted *)
+                let hc = connect cfg in
+                Fun.protect
+                  ~finally:(fun () -> close hc)
+                  (fun () ->
+                    let j = health hc in
+                    let stalled =
+                      Option.bind
+                        (Option.bind
+                           (Option.bind (Json.member "metrics" j)
+                              (Json.member "counters"))
+                           (Json.member "stalled_conns"))
+                        Json.to_int
+                    in
+                    check "stalled connection counted" true
+                      (match stalled with Some n -> n >= 1 | None -> false))))
+      in
+      ())
+
+(* ------------------------------------------------------------------ *)
 (* Protocol unit tests (no daemon)                                     *)
 (* ------------------------------------------------------------------ *)
 
@@ -472,4 +551,8 @@ let suite =
         test_worker_kill_retry_then_faulted;
       Alcotest.test_case "SIGTERM drains and exits 143" `Quick
         test_sigterm_drains_and_exits_143;
+      Alcotest.test_case "frames survive arbitrary read splits" `Quick
+        test_frames_survive_arbitrary_split;
+      Alcotest.test_case "slow-loris frame is cut off and counted" `Quick
+        test_slow_loris_disconnected;
     ] )

@@ -31,6 +31,7 @@ let lease_dir = ref "ncg-serve/leases"
 let seed0 = ref 2013
 let distinct_hosts = ref 0
 let out_file = ref ""
+let stutter = ref 0
 
 let spec =
   [
@@ -52,6 +53,10 @@ let spec =
     ("--lease-dir", Arg.Set_string lease_dir, "DIR daemon lease directory");
     ("--seed", Arg.Set_int seed0, "N base seed");
     ("--out", Arg.Set_string out_file, "FILE write the JSON report here too");
+    ( "--stutter",
+      Arg.Set_int stutter,
+      "N send each frame in chunks of at most N bytes (0: whole frame) — \
+       exercises the daemon's arbitrary-read-boundary reassembly" );
   ]
 
 let () = Arg.parse spec (fun _ -> ()) "loadgen [options]"
@@ -60,10 +65,24 @@ let () = Arg.parse spec (fun _ -> ()) "loadgen [options]"
 
 let connect () =
   let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
-  Unix.connect fd (Unix.ADDR_UNIX !socket_path);
+  Sysx.connect fd (Unix.ADDR_UNIX !socket_path);
   fd
 
-let send_line fd s = Sysx.write_all fd (Bytes.of_string (s ^ "\n"))
+(* With --stutter N the frame goes out in <= N-byte writes, so the
+   daemon sees it split at arbitrary read boundaries — wire-framing must
+   reassemble, not assume one read per line. *)
+let send_line fd s =
+  let b = Bytes.of_string (s ^ "\n") in
+  if !stutter <= 0 then Sysx.write_all fd b
+  else begin
+    let len = Bytes.length b in
+    let off = ref 0 in
+    while !off < len do
+      let k = min !stutter (len - !off) in
+      Sysx.write_all fd (Bytes.sub b !off k);
+      off := !off + k
+    done
+  end
 
 type reader = { fd : Unix.file_descr; buf : Buffer.t; chunk : Bytes.t }
 
