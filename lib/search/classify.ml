@@ -28,6 +28,43 @@ let classify ?(max_states = 50_000) model initial =
     states_explored = exploration.Statespace.explored;
   }
 
+type sink_class = {
+  game_stable : bool;
+  greedy_stable : bool;
+  nash_stable : bool;
+}
+
+let classify_sink model g =
+  let n = Model.n model in
+  (* For games where ownership does not affect strategies (SG, bilateral)
+     the explorer may hand us any ownership labelling of the sink; the
+     buy-game stability probes below DO read ownership, so normalise to
+     the smaller-endpoint labelling first — classification must depend on
+     the state, not on which representative a distributed run kept. *)
+  let g =
+    if Model.uses_ownership model then g
+    else
+      Graph.of_unowned_edges n
+        (List.map (fun (u, v, _) -> (u, v)) (Graph.edges g))
+  in
+  let variant game =
+    Model.make ~alpha:model.Model.alpha ~host:model.Model.host game
+      model.Model.dist_mode n
+  in
+  {
+    game_stable = Response.is_stable model g;
+    greedy_stable = Response.is_stable (variant Model.Gbg) g;
+    nash_stable = Response.is_stable (variant Model.Bg) g;
+  }
+
+let sink_label s =
+  Printf.sprintf "%s%s%s"
+    (if s.game_stable then "game " else "")
+    (if s.greedy_stable then "GE" else "-")
+    (if s.nash_stable then "+NE" else "")
+
+let pp_sink fmt s = Format.pp_print_string fmt (sink_label s)
+
 let pp_verdict fmt = function
   | Yes -> Format.pp_print_string fmt "yes"
   | No -> Format.pp_print_string fmt "no"

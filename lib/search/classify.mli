@@ -30,3 +30,28 @@ val classify : ?max_states:int -> Model.t -> Graph.t -> report
     [max_states] defaults to 50_000. *)
 
 val pp : Format.formatter -> report -> unit
+
+(** Equilibrium class of one {e sink} (stable state) of the explored
+    region, in the sense of Lenzner's greedy-equilibrium hierarchy: a
+    network can be stable under the instance's own move set while being
+    or not being a greedy equilibrium (no improving single buy / delete /
+    swap of an own edge) or a Nash equilibrium of the Buy Game (no
+    improving own-edge strategy whatsoever). *)
+type sink_class = {
+  game_stable : bool;  (** stable under the instance's own game *)
+  greedy_stable : bool;  (** greedy equilibrium (GBG stability) *)
+  nash_stable : bool;  (** Nash equilibrium of the Buy Game *)
+}
+
+val classify_sink : Model.t -> Graph.t -> sink_class
+(** Classifies one network under the instance's model plus its GBG and BG
+    variants (same [alpha], host and distance mode).  For games that
+    ignore ownership (SG, bilateral) the network is first renormalised to
+    the smaller-endpoint ownership labelling, so every representative of
+    the same unowned state — single-process or distributed — classifies
+    identically.  Intended for the small-[n] sinks the explorers emit;
+    the BG probe enumerates strategies exhaustively and inherits
+    {!Response.exhaustive_limit}. *)
+
+val sink_label : sink_class -> string
+val pp_sink : Format.formatter -> sink_class -> unit

@@ -3,6 +3,7 @@ type successor_rule = All_improving | Best_responses
 type exploration = {
   explored : int;
   stable : string list;
+  stable_reps : Graph.t list;
   truncated : bool;
 }
 
@@ -25,6 +26,7 @@ let explore ?(max_states = 100_000) ?(rule = All_improving) model initial =
   let seen : (string, unit) Hashtbl.t = Hashtbl.create 1024 in
   let queue = Queue.create () in
   let stable = ref [] in
+  let stable_reps = ref [] in
   let truncated = ref false in
   let push g =
     let key = state_key model g in
@@ -40,7 +42,9 @@ let explore ?(max_states = 100_000) ?(rule = All_improving) model initial =
   while not (Queue.is_empty queue) do
     let g = Queue.pop queue in
     match successor_moves rule model g with
-    | [] -> stable := state_key model g :: !stable
+    | [] ->
+        stable := state_key model g :: !stable;
+        stable_reps := Graph.copy g :: !stable_reps
     | moves ->
         List.iter
           (fun move ->
@@ -49,7 +53,12 @@ let explore ?(max_states = 100_000) ?(rule = All_improving) model initial =
             Move.undo g token)
           moves
   done;
-  { explored = Hashtbl.length seen; stable = !stable; truncated = !truncated }
+  {
+    explored = Hashtbl.length seen;
+    stable = !stable;
+    stable_reps = !stable_reps;
+    truncated = !truncated;
+  }
 
 let reachable_stable_state ?(max_states = 100_000) ?(rule = All_improving)
     model initial =
@@ -90,71 +99,77 @@ let reachable_stable_state ?(max_states = 100_000) ?(rule = All_improving)
 
 type cycle = { start : Graph.t; moves : Move.t list }
 
-(* Iterative three-color DFS for a back edge.  The explicit stack holds the
-   state (as a graph copy) plus its not-yet-expanded moves. *)
+(* Iterative three-color DFS for a back edge, driven by a plain while loop
+   over an explicit frame stack — no recursion anywhere, so regions whose
+   DFS tree is millions of states deep (long paths of long paths) cannot
+   overflow the call stack.  Each frame owns its graph copy, its key, the
+   moves not yet expanded (mutable, popped in place) and the move that
+   entered it. *)
+type frame = {
+  fr_graph : Graph.t;
+  fr_key : string;
+  mutable fr_moves : Move.t list;  (* successors not yet expanded *)
+  fr_via : Move.t option;  (* move that entered this state; None at the root *)
+}
+
 let find_cycle ?(max_states = 100_000) ?(rule = All_improving) model initial =
   let color : (string, [ `Gray | `Black ]) Hashtbl.t = Hashtbl.create 1024 in
   let truncated = ref false in
-  (* stack frames: (graph, key, remaining moves, move taken to get here) *)
-  let rec expand stack =
-    match stack with
-    | [] -> if !truncated then `Truncated else `Acyclic
-    | (g, key, moves, _via) :: rest -> (
-        match moves with
-        | [] ->
-            Hashtbl.replace color key `Black;
-            expand rest
-        | move :: moves ->
-            let stack = (g, key, moves, _via) :: rest in
-            let g' = Graph.copy g in
-            ignore (Move.apply g' move);
-            let key' = state_key model g' in
-            (match Hashtbl.find_opt color key' with
-            | Some `Gray ->
-                (* Back edge: the cycle is the gray path from key' down to
-                   this state, plus [move].  Every gray state sits on the
-                   stack, so walk it head-first prepending the entry moves
-                   until key' is reached. *)
-                let cycle_moves = ref [ move ] in
-                (try
-                   List.iter
-                     (fun (_, k, _, via) ->
-                       if k = key' then raise Exit
-                       else
-                         match via with
-                         | Some m -> cycle_moves := m :: !cycle_moves
-                         | None -> raise Exit)
-                     stack
-                 with Exit -> ());
-                (* The start state of the cycle. *)
-                let start =
-                  let rec find = function
-                    | [] -> None
-                    | (g0, k, _, _) :: rest ->
-                        if k = key' then Some g0 else find rest
-                  in
-                  find stack
-                in
-                (match start with
-                | Some start ->
-                    `Cycle { start = Graph.copy start; moves = !cycle_moves }
-                | None -> `Cycle { start = g'; moves = !cycle_moves })
-            | Some `Black -> expand stack
-            | None ->
-                if Hashtbl.length color >= max_states then begin
-                  truncated := true;
-                  expand stack
-                end
-                else begin
-                  Hashtbl.replace color key' `Gray;
-                  let succ = successor_moves rule model g' in
-                  expand ((g', key', succ, Some move) :: stack)
-                end))
+  let stack = ref [] in
+  let push g key via =
+    Hashtbl.replace color key `Gray;
+    stack :=
+      { fr_graph = g; fr_key = key; fr_moves = successor_moves rule model g;
+        fr_via = via }
+      :: !stack
   in
-  let key0 = state_key model initial in
-  Hashtbl.replace color key0 `Gray;
   let g0 = Graph.copy initial in
-  expand [ (g0, key0, successor_moves rule model g0, None) ]
+  push g0 (state_key model g0) None;
+  let result = ref None in
+  while Option.is_none !result && !stack <> [] do
+    let frame = List.hd !stack in
+    match frame.fr_moves with
+    | [] ->
+        Hashtbl.replace color frame.fr_key `Black;
+        stack := List.tl !stack
+    | move :: rest -> (
+        frame.fr_moves <- rest;
+        let g' = Graph.copy frame.fr_graph in
+        ignore (Move.apply g' move);
+        let key' = state_key model g' in
+        match Hashtbl.find_opt color key' with
+        | Some `Gray ->
+            (* Back edge: the cycle is the gray path from key' down to this
+               state, plus [move].  Every gray state sits on the stack, so
+               walk it head-first prepending the entry moves until key' is
+               reached. *)
+            let cycle_moves = ref [ move ] in
+            let start = ref None in
+            (try
+               List.iter
+                 (fun fr ->
+                   if fr.fr_key = key' then begin
+                     start := Some fr.fr_graph;
+                     raise Exit
+                   end
+                   else
+                     match fr.fr_via with
+                     | Some m -> cycle_moves := m :: !cycle_moves
+                     | None -> raise Exit)
+                 !stack
+             with Exit -> ());
+            let start =
+              match !start with Some s -> Graph.copy s | None -> g'
+            in
+            result := Some (`Cycle { start; moves = !cycle_moves })
+        | Some `Black -> ()
+        | None ->
+            if Hashtbl.length color >= max_states then truncated := true
+            else push g' key' (Some move))
+  done;
+  match !result with
+  | Some r -> r
+  | None -> if !truncated then `Truncated else `Acyclic
 
 let is_fipg_from ?max_states model initial =
   match find_cycle ?max_states ~rule:All_improving model initial with

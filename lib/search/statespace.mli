@@ -25,8 +25,22 @@ type successor_rule =
 type exploration = {
   explored : int;  (** states visited *)
   stable : string list;  (** canonical keys of reachable stable states *)
+  stable_reps : Graph.t list;
+      (** one representative network per stable key, aligned with [stable] —
+          what equilibrium classification ({!Classify.classify_sink}) runs
+          on *)
   truncated : bool;
 }
+
+val state_key : Model.t -> Graph.t -> string
+(** The exact-state dedupe key: {!Canonical.key} when the game uses
+    ownership, {!Canonical.unowned_key} otherwise.  Exposed so the
+    distributed explorer ({!Cartography}) dedupes with bit-identical keys
+    to the single-process BFS. *)
+
+val successor_moves : successor_rule -> Model.t -> Graph.t -> Move.t list
+(** The outgoing arcs of one state under the rule, in the deterministic
+    enumeration order every explorer in this library shares. *)
 
 val explore :
   ?max_states:int ->
@@ -56,10 +70,12 @@ val find_cycle :
   Model.t ->
   Graph.t ->
   [ `Cycle of cycle | `Acyclic | `Truncated ]
-(** Depth-first search for a directed cycle among reachable states.
-    [`Cycle] under [Best_responses] is a best-response cycle (refutes
-    FIPG); [`Acyclic] proves every improving-move sequence from this state
-    terminates. *)
+(** Depth-first search for a directed cycle among reachable states, run
+    entirely on an explicit heap-allocated stack (a while loop, no
+    recursion) so arbitrarily deep regions cannot overflow the call
+    stack.  [`Cycle] under [Best_responses] is a best-response cycle
+    (refutes FIPG); [`Acyclic] proves every improving-move sequence from
+    this state terminates. *)
 
 val is_fipg_from :
   ?max_states:int -> Model.t -> Graph.t -> [ `Yes | `No | `Truncated ]

@@ -6,6 +6,7 @@
 let () = Suite_faulty.maybe_run_child ()
 let () = Suite_fleet.maybe_run_child ()
 let () = Suite_service.maybe_run_child ()
+let () = Suite_carto.maybe_run_child ()
 
 let () =
   Alcotest.run "ncg-repro"
@@ -26,4 +27,5 @@ let () =
       Suite_faulty.suite;
       Suite_fleet.suite;
       Suite_service.suite;
+      Suite_carto.suite;
     ]

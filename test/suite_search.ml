@@ -53,6 +53,23 @@ let test_fig2_cycle_found_and_valid () =
         moves
   | `Acyclic | `Truncated -> Alcotest.fail "Fig. 2 has a cycle"
 
+let test_find_cycle_long_path_region () =
+  (* Regression for the explicit-stack rewrite of find_cycle: a MAX-SG
+     path region is deep and acyclic (Thm 2.1), so the DFS must walk the
+     whole region on its heap stack and still answer `Acyclic — and the
+     verdicts on both rules must be unchanged from the recursive
+     version. *)
+  check "path-8 improving region acyclic" true
+    (Statespace.find_cycle ~max_states:20_000 (max_sg 8) (Gen.path 8)
+    = `Acyclic);
+  check "path-7 best-response region acyclic" true
+    (Statespace.find_cycle ~rule:Statespace.Best_responses ~max_states:10_000
+       (max_sg 7) (Gen.path 7)
+    = `Acyclic);
+  (* tight budgets still surface as `Truncated, never a silent lie *)
+  check "budget surfaces" true
+    (Statespace.find_cycle ~max_states:5 (max_sg 8) (Gen.path 8) = `Truncated)
+
 let test_explore_counts () =
   (* From a stable network the region is a single state. *)
   let e = Statespace.explore (max_sg 6) (Gen.star 6) in
@@ -120,6 +137,8 @@ let suite =
         test_tree_region_reaches_stability;
       Alcotest.test_case "fig2 cycle extraction" `Quick
         test_fig2_cycle_found_and_valid;
+      Alcotest.test_case "find_cycle long-path regions" `Slow
+        test_find_cycle_long_path_region;
       Alcotest.test_case "explore stable state" `Quick test_explore_counts;
       Alcotest.test_case "truncation" `Quick test_truncation;
       Alcotest.test_case "cor36 not BR-weakly-acyclic" `Slow

@@ -394,6 +394,197 @@ let fleet_stall_detection sim =
   remove_dir_quietly dir;
   List.iter remove_quietly [ inc; out; err ]
 
+(* ------------------------------------------------------------------ *)
+(* Cartography soak: kill storms against the distributed explorer      *)
+(* ------------------------------------------------------------------ *)
+
+module Carto = Ncg_search.Cartography
+
+let rec rm_rf_quietly path =
+  match (Unix.lstat path).Unix.st_kind with
+  | Unix.S_DIR ->
+      Array.iter
+        (fun n -> rm_rf_quietly (Filename.concat path n))
+        (Sys.readdir path);
+      (try Unix.rmdir path with Unix.Unix_error _ -> ())
+  | _ -> remove_quietly path
+  | exception Unix.Unix_error _ -> ()
+
+let carto_spec point =
+  match Carto.point_spec point with
+  | Some s -> s
+  | None -> failwith ("unknown carto point " ^ point)
+
+(* The acceptance bar: the region fingerprint of an undisturbed
+   in-process exploration of the same point.  Bit-equality of the
+   fingerprint means the same states in the same wave order and the same
+   stable set — no state lost, duplicated or fabricated by the chaos. *)
+let carto_reference_region point =
+  let dir = temp_prefix ("carto_ref_" ^ point) ^ ".d" in
+  rm_rf_quietly dir;
+  Fun.protect
+    ~finally:(fun () -> rm_rf_quietly dir)
+    (fun () ->
+      let r = Carto.run (Carto.default_config ~dir) (carto_spec point) in
+      r.Carto.region_fingerprint)
+
+(* Live worker PIDs, read off the chunk leases of every wave directory —
+   the same files the supervisor fences with. *)
+let carto_worker_pids ~dir spec =
+  let fp = Carto.fingerprint spec in
+  let pids = ref [] in
+  for wave = 0 to 30 do
+    let wdir = Filename.concat dir (Printf.sprintf "wave-%04d" wave) in
+    if Sys.file_exists wdir then
+      let lfp = Printf.sprintf "%s wave=%d" fp wave in
+      for shard = 0 to 63 do
+        match Ncg_experiments.Lease.load ~dir:wdir ~fingerprint:lfp ~shard with
+        | Ok l
+          when l.Ncg_experiments.Lease.status = Ncg_experiments.Lease.Running
+               && l.Ncg_experiments.Lease.owner > 0 ->
+            pids := l.Ncg_experiments.Lease.owner :: !pids
+        | _ -> ()
+      done
+  done;
+  !pids
+
+let spawn_carto sim ~point ~dir ~inc ~out ~err extra =
+  spawn sim
+    ([ "carto"; "--point"; point; "--dir"; dir; "--incidents"; inc ] @ extra)
+    ~out ~err
+
+(* SIGKILL storm: murder workers mid-expansion; the run must reassign
+   every victim and the final region must be fingerprint-identical to
+   the undisturbed run — zero lost, double-counted or phantom states. *)
+let carto_kill_storm sim =
+  print_endline "carto kill storm (SIGKILL random workers):";
+  let point = "path7-max-sg" in
+  let prefix = temp_prefix "carto_storm" in
+  let dir = prefix ^ ".d" and inc = prefix ^ ".jsonl" in
+  let out = prefix ^ ".out" and err = prefix ^ ".err" in
+  rm_rf_quietly dir;
+  remove_quietly inc;
+  let spec = carto_spec point in
+  let pid =
+    spawn_carto sim ~point ~dir ~inc ~out ~err
+      [ "--workers"; "3"; "--chunk-size"; "16"; "--throttle-ms"; "10";
+        "--heartbeat-timeout"; "30"; "--max-respawns"; "12" ]
+  in
+  let killed = Hashtbl.create 8 in
+  let status = ref None in
+  let supervisor_status () =
+    match !status with
+    | Some _ as s -> s
+    | None -> (
+        match Unix.waitpid [ Unix.WNOHANG ] pid with
+        | 0, _ -> None
+        | _, s ->
+            status := Some s;
+            !status
+        | exception Unix.Unix_error _ -> None)
+  in
+  while supervisor_status () = None && Hashtbl.length killed < 4 do
+    List.iter
+      (fun wpid ->
+        if Hashtbl.length killed < 4 && not (Hashtbl.mem killed wpid) then begin
+          Hashtbl.replace killed wpid ();
+          kill_quietly wpid
+        end)
+      (carto_worker_pids ~dir spec);
+    Unix.sleepf 0.05
+  done;
+  check "the storm killed at least one worker" (Hashtbl.length killed >= 1);
+  (match supervisor_status () with
+  | Some _ -> ()
+  | None ->
+      let _, s = Unix.waitpid [] pid in
+      status := Some s);
+  let stdout_text = read_file out in
+  check "carto under storm exits 0" (!status = Some (Unix.WEXITED 0));
+  check "murdered chunks were reassigned"
+    (not (contains stdout_text "respawns=0 ")
+    && contains stdout_text "respawns=");
+  check "explored region is fingerprint-identical to the undisturbed run"
+    (contains stdout_text ("region: " ^ carto_reference_region point));
+  let incidents = read_file inc in
+  check "worker deaths were logged" (contains incidents "\"worker_dead\"");
+  check "reassignments were logged" (contains incidents "\"reassigned\"");
+  rm_rf_quietly dir;
+  List.iter remove_quietly [ inc; out; err ]
+
+(* SIGSTOP stall: a live-but-frozen worker must be detected by heartbeat
+   expiry, killed, and its chunk reassigned — with the region unchanged. *)
+let carto_stall_detection sim =
+  print_endline "carto stall detection (SIGSTOP a worker):";
+  let point = "path6-max-sg" in
+  let prefix = temp_prefix "carto_stall" in
+  let dir = prefix ^ ".d" and inc = prefix ^ ".jsonl" in
+  let out = prefix ^ ".out" and err = prefix ^ ".err" in
+  rm_rf_quietly dir;
+  remove_quietly inc;
+  let spec = carto_spec point in
+  let pid =
+    spawn_carto sim ~point ~dir ~inc ~out ~err
+      [ "--workers"; "2"; "--chunk-size"; "8"; "--throttle-ms"; "20";
+        "--heartbeat-timeout"; "1.5"; "--heartbeat-interval"; "0.05";
+        "--max-respawns"; "6" ]
+  in
+  let stopped = ref None in
+  check "found a live worker to stall"
+    (wait_for ~timeout:30.0 (fun () ->
+         match carto_worker_pids ~dir spec with
+         | wpid :: _ ->
+             stopped := Some wpid;
+             kill_quietly ~signal:Sys.sigstop wpid;
+             true
+         | [] -> false));
+  let _, status = Unix.waitpid [] pid in
+  check "stalled carto run still exits 0" (status = Unix.WEXITED 0);
+  let stdout_text = read_file out in
+  check "region survives the stall bit for bit"
+    (contains stdout_text ("region: " ^ carto_reference_region point));
+  check "the missed heartbeat was logged"
+    (contains (read_file inc) "heartbeat");
+  (match !stopped with Some p -> kill_quietly p | None -> ());
+  rm_rf_quietly dir;
+  List.iter remove_quietly [ inc; out; err ]
+
+(* SIGKILL the supervisor itself mid-exploration (workers are orphaned
+   wherever they happen to be); a rerun over the same directory must
+   recover and converge to the identical region. *)
+let carto_supervisor_kill_resume sim =
+  print_endline "carto supervisor hard kill + resume (SIGKILL):";
+  let point = "path7-max-sg" in
+  let prefix = temp_prefix "carto_resume" in
+  let dir = prefix ^ ".d" and inc = prefix ^ ".jsonl" in
+  let out = prefix ^ ".out" and err = prefix ^ ".err" in
+  rm_rf_quietly dir;
+  remove_quietly inc;
+  let args =
+    [ "--workers"; "2"; "--chunk-size"; "16"; "--throttle-ms"; "5";
+      "--heartbeat-timeout"; "30"; "--max-respawns"; "12" ]
+  in
+  let pid = spawn_carto sim ~point ~dir ~inc ~out ~err args in
+  check "a wave committed before the kill"
+    (wait_for ~timeout:60.0 (fun () ->
+         Sys.file_exists (Filename.concat dir "frontier-0002.fr")));
+  Unix.kill pid Sys.sigkill;
+  (match Unix.waitpid [] pid with
+  | _, Unix.WSIGNALED s ->
+      check "supervisor died from the kill" (s = Sys.sigkill)
+  | _, Unix.WEXITED 0 ->
+      check "supervisor died from the kill (finished first)" true
+  | _ -> check "supervisor died from the kill" false);
+  let pid2 = spawn_carto sim ~point ~dir ~inc ~out ~err args in
+  let _, status = Unix.waitpid [] pid2 in
+  check "resumed run completes cleanly" (status = Unix.WEXITED 0);
+  let stdout_text = read_file out in
+  check "resume was detected" (contains stdout_text "resumed=true");
+  check "recovered region is fingerprint-identical"
+    (contains stdout_text ("region: " ^ carto_reference_region point));
+  rm_rf_quietly dir;
+  List.iter remove_quietly [ inc; out; err ]
+
 let sim_path () =
   let rec find = function
     | "--sim" :: path :: _ -> Some path
@@ -403,6 +594,7 @@ let sim_path () =
   find (Array.to_list Sys.argv)
 
 let fleet_soak_requested () = Array.exists (( = ) "--fleet-soak") Sys.argv
+let carto_soak_requested () = Array.exists (( = ) "--carto-soak") Sys.argv
 
 let () =
   fault_matrix ();
@@ -419,7 +611,16 @@ let () =
       end
       else
         print_endline
-          "fleet soak skipped (pass --fleet-soak to run the kill storm)"
+          "fleet soak skipped (pass --fleet-soak to run the kill storm)";
+      if carto_soak_requested () then begin
+        carto_kill_storm sim;
+        carto_stall_detection sim;
+        carto_supervisor_kill_resume sim
+      end
+      else
+        print_endline
+          "carto soak skipped (pass --carto-soak to run the cartography \
+           kill storm)"
   | None ->
       print_endline
         "subprocess checks skipped (pass --sim path/to/ncg_sim.exe to run \
