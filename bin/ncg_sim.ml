@@ -202,9 +202,10 @@ let value_term =
 let verbose_term =
   let doc =
     "Also report engine internals after the sweep: the cross-step distance \
-     cache's kept/repaired/rebuilt/filled table counters, aggregated over \
-     every run (and worker domain) of this process, and the batch-arena \
-     totals (arenas created, trials batched, their cache decisions)."
+     cache's kept/repaired/rebuilt/filled/evicted table counters and peak \
+     residency (tables and bytes), aggregated over every run (and worker \
+     domain) of this process, and the batch-arena totals (arenas created, \
+     trials batched, their cache decisions)."
   in
   Arg.(value & flag & info [ "verbose" ] ~doc)
 
@@ -217,9 +218,16 @@ let emit ?(verbose = false) out value curves =
       + s.Distcache.rebuilt
     in
     Printf.printf
-      "distance cache: %d kept, %d repaired, %d rebuilt, %d filled\n"
+      "distance cache: %d kept, %d repaired, %d rebuilt, %d filled, %d \
+       evicted\n"
       s.Distcache.kept s.Distcache.repaired s.Distcache.rebuilt
-      s.Distcache.fills;
+      s.Distcache.fills s.Distcache.evicted;
+    (let peak_tables, peak_bytes = Distcache.residency_totals () in
+     if peak_tables > 0 then
+       Printf.printf
+         "  peak residency: %d tables, %.2f MiB (largest single run)\n"
+         peak_tables
+         (float_of_int peak_bytes /. (1024.0 *. 1024.0)));
     if touched > 0 then
       Printf.printf
         "  %.1f%% of patched tables kept without recomputation\n"

@@ -1,0 +1,130 @@
+(* Bucketed priority structure over per-agent integer cost keys — the
+   replacement for the full-scan max-cost selection.
+
+   One bucket per distinct key, holding its agents in a swap-remove dense
+   array (O(1) membership updates); the distinct keys live in an int set
+   iterated descending.  Selection walks buckets from the largest key down
+   and, inside each bucket, probes agents in ascending per-step random
+   rank — which is exactly the (cost desc, rank asc) order the full sort
+   in [Policy.select_core] produces, so the first probe hit is the same
+   agent after the same probe sequence, bit for bit.  Only the buckets
+   actually visited are sorted, so a step's selection work is sized by the
+   agents at or above the selected agent's cost, not by n.
+
+   Key updates arrive from the distance cache's dirty set: [update] moves
+   an agent between buckets in O(1) (plus set maintenance when a bucket
+   empties or a key appears).  Keys of clean agents are never recomputed —
+   that is the point. *)
+
+module ISet = Set.Make (Int)
+
+type bucket = { mutable items : int array; mutable len : int }
+
+type t = {
+  n : int;
+  keys : int array; (* current key per agent; meaningless until [update] *)
+  present : bool array; (* agent has been installed since the last reset *)
+  pos : int array; (* agent's index within its bucket's [items] *)
+  buckets : (int, bucket) Hashtbl.t; (* key -> members *)
+  mutable key_set : ISet.t; (* distinct keys with non-empty buckets *)
+  mutable installed : int; (* agents currently installed *)
+}
+
+let create n =
+  if n < 0 then invalid_arg "Costboard.create: negative size";
+  {
+    n;
+    keys = Array.make (max 1 n) 0;
+    present = Array.make (max 1 n) false;
+    pos = Array.make (max 1 n) 0;
+    buckets = Hashtbl.create 64;
+    key_set = ISet.empty;
+    installed = 0;
+  }
+
+let n t = t.n
+let complete t = t.installed = t.n
+let key t v = if t.present.(v) then Some t.keys.(v) else None
+
+let reset t =
+  Array.fill t.present 0 (Array.length t.present) false;
+  Hashtbl.reset t.buckets;
+  t.key_set <- ISet.empty;
+  t.installed <- 0
+
+let bucket_add t k v =
+  let b =
+    match Hashtbl.find_opt t.buckets k with
+    | Some b -> b
+    | None ->
+        let b = { items = Array.make 4 0; len = 0 } in
+        Hashtbl.add t.buckets k b;
+        t.key_set <- ISet.add k t.key_set;
+        b
+  in
+  if b.len = Array.length b.items then begin
+    let fresh = Array.make (2 * b.len) 0 in
+    Array.blit b.items 0 fresh 0 b.len;
+    b.items <- fresh
+  end;
+  b.items.(b.len) <- v;
+  t.pos.(v) <- b.len;
+  b.len <- b.len + 1
+
+let bucket_remove t k v =
+  match Hashtbl.find_opt t.buckets k with
+  | None -> assert false
+  | Some b ->
+      let i = t.pos.(v) in
+      let last = b.items.(b.len - 1) in
+      b.items.(i) <- last;
+      t.pos.(last) <- i;
+      b.len <- b.len - 1;
+      if b.len = 0 then begin
+        Hashtbl.remove t.buckets k;
+        t.key_set <- ISet.remove k t.key_set
+      end
+
+let update t v k =
+  if v < 0 || v >= t.n then invalid_arg "Costboard.update: agent";
+  if t.present.(v) then begin
+    if t.keys.(v) <> k then begin
+      bucket_remove t t.keys.(v) v;
+      t.keys.(v) <- k;
+      bucket_add t k v
+    end
+  end
+  else begin
+    t.present.(v) <- true;
+    t.keys.(v) <- k;
+    t.installed <- t.installed + 1;
+    bucket_add t k v
+  end
+
+(* First agent (key desc, rank asc) satisfying [probe].  [rank] is the
+   per-step random rank permutation from the policy's shuffle; only the
+   visited buckets are copied out and sorted. *)
+let select_desc t ~rank ~probe =
+  if not (complete t) then invalid_arg "Costboard.select_desc: incomplete";
+  let found = ref None in
+  let cursor = ref (ISet.max_elt_opt t.key_set) in
+  while !found = None && !cursor <> None do
+    let k = Option.get !cursor in
+    (match Hashtbl.find_opt t.buckets k with
+    | None -> assert false
+    | Some b ->
+        let len = b.len in
+        let members = Array.sub b.items 0 len in
+        Array.sort
+          (fun a c -> Stdlib.compare rank.(a) rank.(c))
+          members;
+        let i = ref 0 in
+        while !found = None && !i < len do
+          let v = members.(!i) in
+          if probe v then found := Some v;
+          incr i
+        done);
+    if !found = None then
+      cursor := ISet.find_last_opt (fun k' -> k' < k) t.key_set
+  done;
+  !found

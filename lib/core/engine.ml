@@ -15,20 +15,23 @@ type config = {
   time_budget : float option;
   scan_domains : int;
   incremental : bool;
+  sublinear : bool;
+  cache_budget : int option;
 }
 
 let config ?(policy = Policy.Max_cost) ?(move_rule = Best_response)
     ?(tie_break = Uniform) ?max_steps ?(detect_cycles = false)
     ?(record_history = true) ?(audit = Audit.Off)
     ?(sentinel = Sentinel.Off) ?time_budget ?(scan_domains = 1)
-    ?(incremental = true) model =
+    ?(incremental = true) ?(sublinear = true) ?cache_budget model =
   let max_steps =
     match max_steps with
     | Some s -> s
     | None -> (100 * Model.n model) + 1000
   in
   { model; policy; move_rule; tie_break; max_steps; detect_cycles;
-    record_history; audit; sentinel; time_budget; scan_domains; incremental }
+    record_history; audit; sentinel; time_budget; scan_domains; incremental;
+    sublinear; cache_budget }
 
 type step = {
   index : int;
@@ -52,6 +55,7 @@ type result = {
   final : Graph.t;
   sentinel : Sentinel.report;
   cache : Distcache.stats;
+  residency : Distcache.residency;
 }
 
 let kind_rank = function
@@ -122,6 +126,7 @@ module Arena = struct
     mutable free_caches : Distcache.t list;
     mutable free_witnesses : Witness.t list;
     mutable free_seen : (string, int) Hashtbl.t list;
+    mutable free_boards : Costboard.t list;
     mutable trials : int;
     mutable cache_stats : Distcache.stats;
   }
@@ -136,6 +141,7 @@ module Arena = struct
   let g_repaired = Atomic.make 0
   let g_rebuilt = Atomic.make 0
   let g_fills = Atomic.make 0
+  let g_evicted = Atomic.make 0
 
   let create n =
     if n < 0 then invalid_arg "Engine.Arena.create: negative size";
@@ -147,6 +153,7 @@ module Arena = struct
       free_caches = [];
       free_witnesses = [];
       free_seen = [];
+      free_boards = [];
       trials = 0;
       cache_stats = Distcache.zero_stats;
     }
@@ -171,6 +178,7 @@ module Arena = struct
           repaired = Atomic.get g_repaired;
           rebuilt = Atomic.get g_rebuilt;
           fills = Atomic.get g_fills;
+          evicted = Atomic.get g_evicted;
         };
     }
 
@@ -180,15 +188,32 @@ module Arena = struct
     Atomic.set g_kept 0;
     Atomic.set g_repaired 0;
     Atomic.set g_rebuilt 0;
-    Atomic.set g_fills 0
+    Atomic.set g_fills 0;
+    Atomic.set g_evicted 0
 
-  let alloc_cache t =
-    match t.free_caches with
-    | c :: rest ->
-        t.free_caches <- rest;
-        Distcache.reset c;
-        c
-    | [] -> Distcache.create t.capacity
+  (* Pooled caches are reused only across trials with the same memory
+     budget — a budget mismatch would silently change the eviction
+     sequence a trial observes versus its solo run. *)
+  let alloc_cache ?budget t =
+    let rec take acc = function
+      | [] ->
+          t.free_caches <- List.rev acc;
+          Distcache.create ?budget t.capacity
+      | c :: rest when Distcache.budget c = budget ->
+          t.free_caches <- List.rev_append acc rest;
+          Distcache.reset c;
+          c
+      | c :: rest -> take (c :: acc) rest
+    in
+    take [] t.free_caches
+
+  let alloc_board t =
+    match t.free_boards with
+    | b :: rest ->
+        t.free_boards <- rest;
+        Costboard.reset b;
+        b
+    | [] -> Costboard.create t.capacity
 
   let alloc_witness t =
     match t.free_witnesses with
@@ -206,7 +231,7 @@ module Arena = struct
         h
     | [] -> Hashtbl.create 64
 
-  let retire t ~cache_stats:(s : Distcache.stats) witness cache seen =
+  let retire t ~cache_stats:(s : Distcache.stats) ?board witness cache seen =
     t.trials <- t.trials + 1;
     t.cache_stats <-
       {
@@ -214,15 +239,20 @@ module Arena = struct
         repaired = t.cache_stats.Distcache.repaired + s.Distcache.repaired;
         rebuilt = t.cache_stats.Distcache.rebuilt + s.Distcache.rebuilt;
         fills = t.cache_stats.Distcache.fills + s.Distcache.fills;
+        evicted = t.cache_stats.Distcache.evicted + s.Distcache.evicted;
       };
     Atomic.incr g_trials;
     ignore (Atomic.fetch_and_add g_kept s.Distcache.kept);
     ignore (Atomic.fetch_and_add g_repaired s.Distcache.repaired);
     ignore (Atomic.fetch_and_add g_rebuilt s.Distcache.rebuilt);
     ignore (Atomic.fetch_and_add g_fills s.Distcache.fills);
+    ignore (Atomic.fetch_and_add g_evicted s.Distcache.evicted);
     t.free_witnesses <- witness :: t.free_witnesses;
     (match cache with
     | Some c -> t.free_caches <- c :: t.free_caches
+    | None -> ());
+    (match board with
+    | Some b -> t.free_boards <- b :: t.free_boards
     | None -> ());
     t.free_seen <- seen :: t.free_seen
 end
@@ -246,6 +276,8 @@ type stepper = {
   shadow_ws : Paths.Workspace.t Lazy.t;
   witness : Witness.t;
   cache : Distcache.t option;
+  board : Costboard.t option;
+  mutable board_ready : bool;
   seen : (string, int) Hashtbl.t;
   deadline : float option;
   require_connected : bool;
@@ -287,9 +319,22 @@ let stepper_start ?arena ?rng cfg initial =
     if cfg.incremental then
       Some
         (match arena with
-        | Some a -> Arena.alloc_cache a
-        | None -> Distcache.create n)
+        | Some a -> Arena.alloc_cache ?budget:cfg.cache_budget a
+        | None -> Distcache.create ?budget:cfg.cache_budget n)
     else None
+  in
+  (* The bucketed cost board exists exactly when the sublinear max-cost
+     selection can use it: it needs the cross-step cache (the dirty sets
+     come from its patch classification) and only Max_cost sorts by
+     cost. *)
+  let board =
+    match (cfg.sublinear, cache, cfg.policy) with
+    | true, Some _, Policy.Max_cost ->
+        Some
+          (match arena with
+          | Some a -> Arena.alloc_board a
+          | None -> Costboard.create n)
+    | _ -> None
   in
   let seen =
     match arena with Some a -> Arena.alloc_seen a | None -> Hashtbl.create 64
@@ -308,6 +353,8 @@ let stepper_start ?arena ?rng cfg initial =
     shadow_ws;
     witness;
     cache;
+    board;
+    board_ready = false;
     seen;
     deadline = Option.map (fun b -> Unix.gettimeofday () +. b) cfg.time_budget;
     require_connected;
@@ -371,6 +418,24 @@ let finish_step s u (e : Response.evaluated) ~next_mode =
   | None -> (
       (match s.cache with
       | Some c ->
+          (* When a cost board is consuming dirty sets, pin the move's
+             primitive endpoints resident before the first primitive: the
+             cache's per-source dirty classifier needs their pre-primitive
+             rows, and the pins keep a memory-bounded cache from evicting
+             them mid-move (a multi-primitive move reuses them, repaired,
+             for its later primitives). *)
+          let pinned =
+            match s.board with
+            | None -> []
+            | Some _ ->
+                let touched = Move.touched s.g e.Response.move in
+                List.iter
+                  (fun v ->
+                    ignore (Distcache.ensure c ~ws:s.ws s.g v);
+                    Distcache.pin c v)
+                  touched;
+                touched
+          in
           (* Patch the cache primitive by primitive: each note_* sees the
              graph exactly after its primitive, against the tables from
              before it — the state the keep/repair rules assume.  The
@@ -380,7 +445,8 @@ let finish_step s u (e : Response.evaluated) ~next_mode =
             (Move.apply_observed s.g e.Response.move ~on_prim:(fun p ->
                  match p with
                  | Move.Added (a, b) -> Distcache.note_added c s.g a b
-                 | Move.Removed (a, b, _) -> Distcache.note_removed c s.g a b))
+                 | Move.Removed (a, b, _) -> Distcache.note_removed c s.g a b));
+          List.iter (fun v -> Distcache.unpin c v) pinned
       | None -> ignore (Move.apply s.g e.Response.move));
       Witness.clear s.witness u;
       if cfg.record_history then
@@ -437,6 +503,11 @@ let fast_step s =
     | Some c -> Response.Fast.of_cache s.ws cfg.model s.g c
     | None -> Response.Fast.create s.ws cfg.model s.g
   in
+  (* The admission caps ride with the output-sensitive step loop: the
+     [sublinear:false] baseline keeps the historical uncapped enumeration
+     (identical moves either way — the caps only skip provably
+     over-budget candidate scans). *)
+  Response.Fast.set_prefilter ctx cfg.sublinear;
   let checking = Sentinel.due cfg.sentinel s.srng in
   let snap =
     if checking && Sentinel.shadows_selection cfg.policy then
@@ -444,8 +515,29 @@ let fast_step s =
     else None
   in
   let picked =
-    Policy.select_fast cfg.policy ~rng:s.rng ~ctx ~witness:s.witness
-      ~domains:cfg.scan_domains cfg.model s.g ~last:s.last
+    match (s.board, s.cache) with
+    | Some board, Some c ->
+        (* Output-sensitive selection.  Bring the board up to date first:
+           a full refresh on the first step (every agent's key), then only
+           the agents the cache's last patch marked dirty.  Probes and key
+           evaluations consume no RNG, so the stream stays in lockstep
+           with [select]/[select_fast]. *)
+        if not s.board_ready then begin
+          for v = 0 to Graph.n s.g - 1 do
+            Costboard.update board v (Response.Fast.cost_key ctx v)
+          done;
+          s.board_ready <- true
+        end
+        else
+          Distcache.iter_dirty
+            (fun v -> Costboard.update board v (Response.Fast.cost_key ctx v))
+            c;
+        Distcache.clear_dirty c;
+        Policy.select_sublinear cfg.policy ~rng:s.rng ~ctx ~witness:s.witness
+          ~board cfg.model s.g ~last:s.last
+    | _ ->
+        Policy.select_fast cfg.policy ~rng:s.rng ~ctx ~witness:s.witness
+          ~domains:cfg.scan_domains cfg.model s.g ~last:s.last
   in
   let shadow_sel =
     match snap with
@@ -555,8 +647,14 @@ let stepper_finish s =
         st
     | None -> Distcache.zero_stats
   in
+  let residency =
+    match s.cache with
+    | Some c -> Distcache.residency c
+    | None -> Distcache.zero_residency
+  in
+  Distcache.add_residency_to_totals residency;
   (match s.arena with
-  | Some a -> Arena.retire a ~cache_stats s.witness s.cache s.seen
+  | Some a -> Arena.retire a ~cache_stats ?board:s.board s.witness s.cache s.seen
   | None -> ());
   {
     reason;
@@ -565,6 +663,7 @@ let stepper_finish s =
     final = s.g;
     sentinel;
     cache = cache_stats;
+    residency;
   }
 
 let run ?arena ?rng cfg initial =

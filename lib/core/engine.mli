@@ -63,6 +63,20 @@ type config = {
           step.  Either value produces the identical trajectory — the cache
           changes when distances are computed, never their values (see
           DESIGN.md §12).  [false] reverts to the step-scoped tables. *)
+  sublinear : bool;
+      (** serve [Max_cost] selection from a bucketed cost board maintained
+          incrementally from the distance cache's dirty sets, instead of
+          recomputing and sorting all n agent costs every step.  Requires
+          [incremental]; either value produces the identical trajectory
+          (same RNG draws, same probe order — see DESIGN.md §17), gated by
+          the sentinel and the differential/sublinear suites.  [false]
+          reverts to the full-scan [Policy.select_fast]. *)
+  cache_budget : int option;
+      (** cap on resident distance tables ({!Distcache} LRU eviction past
+          it); [None] keeps every filled table resident.  A budget changes
+          when tables are recomputed, never their values, so trajectories
+          are identical under any budget.  At n = 10,000 an unbounded cache
+          is O(n²) resident ints — set a budget for large sweeps. *)
 }
 
 val config :
@@ -77,11 +91,14 @@ val config :
   ?time_budget:float ->
   ?scan_domains:int ->
   ?incremental:bool ->
+  ?sublinear:bool ->
+  ?cache_budget:int ->
   Model.t ->
   config
 (** Defaults: max-cost policy, best response, uniform ties, [100 * n + 1000]
     steps, cycle detection off, history on, audit off, sentinel off, no time
-    budget, one scan domain, incremental cache on. *)
+    budget, one scan domain, incremental cache on, sublinear selection on,
+    unbounded cache residency. *)
 
 type step = {
   index : int;  (** 0-based position in the run *)
@@ -112,8 +129,12 @@ type result = {
           the sentinel is off or no checked step diverged *)
   cache : Distcache.stats;
       (** incremental distance-cache decisions over the whole run
-          (kept/repaired/rebuilt tables and fresh fills);
+          (kept/repaired/rebuilt tables, fresh fills, evictions);
           {!Distcache.zero_stats} when [incremental] is off *)
+  residency : Distcache.residency;
+      (** the cache's memory accounting at the end of the run — resident
+          and peak table counts/bytes against the configured budget;
+          {!Distcache.zero_residency} when [incremental] is off *)
 }
 
 (** A shared arena of trial-scoped resources for running many trials of

@@ -94,3 +94,27 @@ let select_fast t ~rng ~ctx ~witness ?(domains = 1) model g ~last =
     ~probe:(fun u -> Witness.probe witness ctx u)
     ~cost_of:(fun u -> Response.Fast.cost ctx u)
     model g ~last
+
+(* Output-sensitive selection: [Max_cost] walks the bucketed cost board
+   (maintained from the distance cache's dirty sets by the engine) instead
+   of recomputing and sorting all n costs.  The RNG stream is untouched —
+   the same shuffle draws produce the same random ranks, and the board's
+   (key desc, rank asc) walk is the same total order the full sort yields,
+   so selection is bit-identical to [select_fast].  Policies that don't
+   sort by cost never scanned costs in the first place and fall through to
+   the shared skeleton unchanged. *)
+let select_sublinear t ~rng ~ctx ~witness ~board model g ~last =
+  match t with
+  | Max_cost ->
+      let n = Graph.n g in
+      let order = Array.init n (fun i -> i) in
+      shuffle rng order;
+      let rank = Array.make (max 1 n) 0 in
+      Array.iteri (fun i v -> rank.(v) <- i) order;
+      Costboard.select_desc board ~rank
+        ~probe:(fun u -> Witness.probe witness ctx u)
+  | Random_unhappy | Round_robin | Adversarial _ ->
+      select_core t ~rng
+        ~probe:(fun u -> Witness.probe witness ctx u)
+        ~cost_of:(fun u -> Response.Fast.cost ctx u)
+        model g ~last

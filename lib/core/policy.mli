@@ -51,3 +51,21 @@ val select_fast :
     (one BFS per agent, fanned out over [domains] OCaml domains) before
     the sequential selection runs — the parallel part only reads the
     graph. *)
+
+val select_sublinear :
+  t ->
+  rng:Random.State.t ->
+  ctx:Response.Fast.ctx ->
+  witness:Witness.t ->
+  board:Costboard.t ->
+  Model.t ->
+  Graph.t ->
+  last:int option ->
+  int option
+(** Same agent, same RNG draws as {!select_fast}, with the {!Max_cost}
+    cost scan + sort replaced by a walk of the bucketed cost board the
+    engine maintains from the distance cache's dirty sets.  The board must
+    be {!Costboard.complete} and hold every agent's current
+    {!Ncg_game.Response.Fast.cost_key} — the engine's refresh-then-drain
+    discipline guarantees it.  Policies other than [Max_cost] fall through
+    to the shared probe skeleton unchanged. *)

@@ -144,4 +144,5 @@ let run ?rng (cfg : Engine.config) initial =
     history = List.rev !history;
     final = g;
     sentinel = Sentinel.clean_report;
-    cache = Distcache.zero_stats }
+    cache = Distcache.zero_stats;
+    residency = Distcache.zero_residency }

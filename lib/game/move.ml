@@ -95,6 +95,26 @@ let apply_observed g ~on_prim move =
 
 let apply g move = apply_observed g ~on_prim:(fun _ -> ()) move
 
+(* Endpoints of every primitive [apply] would record for this move on the
+   current graph, deduplicated — the vertices whose distance tables the
+   engine pins resident before applying, so the cache's dirty-set
+   classifier always has the pre-primitive endpoint rows it needs. *)
+let touched g move =
+  match move with
+  | Swap { agent; remove; add } -> List.sort_uniq compare [ agent; remove; add ]
+  | Buy { agent; target } | Delete { agent; target } ->
+      List.sort_uniq compare [ agent; target ]
+  | Set_own_edges { agent; targets } ->
+      let old = Graph.owned_neighbors g agent in
+      let removed = List.filter (fun v -> not (List.mem v targets)) old in
+      let added = List.filter (fun v -> not (List.mem v old)) targets in
+      List.sort_uniq compare ((agent :: removed) @ added)
+  | Set_neighbors { agent; targets } ->
+      let old = Graph.neighbors g agent in
+      let removed = List.filter (fun v -> not (List.mem v targets)) old in
+      let added = List.filter (fun v -> not (List.mem v old)) targets in
+      List.sort_uniq compare ((agent :: removed) @ added)
+
 let undo g prims =
   List.iter
     (fun prim ->

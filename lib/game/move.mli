@@ -44,6 +44,12 @@ val apply_observed : Graph.t -> on_prim:(prim -> unit) -> t -> undo
     tables from this hook: each patch sees pre-primitive tables against
     post-primitive adjacency, which is what its keep/repair rules assume. *)
 
+val touched : Graph.t -> t -> int list
+(** The deduplicated endpoints of every primitive {!apply} would record for
+    this move on the current (pre-move) graph.  The engine pins these
+    vertices' distance tables resident across the apply so the cache's
+    dirty-set classifier always sees the pre-primitive endpoint rows. *)
+
 val undo : Graph.t -> undo -> unit
 (** Restores the exact previous state, including edge ownership. *)
 

@@ -98,8 +98,23 @@ module Fast : sig
   (** The cache backing this context — lets consumers pin the identity and
       versions of the tables an evaluation read (see {!Ncg_core.Witness}). *)
 
+  val set_prefilter : ctx -> bool -> unit
+  (** Enable or disable the O(1) triangle-inequality admission caps that
+      reject buy/swap candidates whose exact profile provably misses the
+      admission budget (on by default).  Either setting evaluates the same
+      admitted set — the caps only skip provably over-budget scans — so
+      results are identical; [false] restores the historical full-scan
+      enumeration cost profile, which the engine uses as the
+      [sublinear:false] baseline. *)
+
   val cost : ctx -> int -> Cost.t
   (** Same value as [Agents.cost], served from the cached table. *)
+
+  val cost_key : ctx -> int -> int
+  (** [cost ctx u] as the cross-multiplied integer key [e*p + d*q] that
+      {!Cost.compare} orders finite costs by, with [max_int] standing in
+      for [Disconnected] (above every finite key, as [Cost.compare] places
+      it).  The bucketed max-cost selection sorts on these keys. *)
 
   val has_table : ctx -> int -> bool
 

@@ -24,11 +24,11 @@ val half_edges : t -> int
 val degree : t -> int -> int
 (** Row length — O(1). *)
 
-val offsets : t -> int array
+val offsets : t -> Intvec.t
 (** Borrowed view, valid until the next mutation.  Length [n + 1]; do not
     write. *)
 
-val targets : t -> int array
+val targets : t -> Intvec.t
 (** Borrowed view, valid until the next mutation.  Only the first
     [half_edges t] entries are meaningful; the array may be replaced (not
     just overwritten) by an [insert], so re-fetch after mutating. *)

@@ -1,0 +1,35 @@
+(** Off-heap int vector (bigarray) backing the CSR adjacency, the BFS
+    workspaces, and the cached distance tables.
+
+    At n = 10,000 the distance cache holds hundreds of n-element tables;
+    storing them as bigarrays keeps those words invisible to the GC (no
+    marking cost, no compaction churn) and lets the BFS kernels run
+    allocation-free over raw memory.  [unsafe_get]/[unsafe_set] skip bounds
+    checks and are reserved for kernels whose indices are already validated
+    by construction. *)
+
+type t = (int, Bigarray.int_elt, Bigarray.c_layout) Bigarray.Array1.t
+
+val create : int -> t
+(** Uninitialised vector of [n] ints. @raise Invalid_argument if [n < 0]. *)
+
+val make : int -> int -> t
+(** [make n x] is a vector of [n] copies of [x]. *)
+
+val dim : t -> int
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+val unsafe_get : t -> int -> int
+val unsafe_set : t -> int -> int -> unit
+val fill : t -> int -> unit
+
+val blit : src:t -> src_pos:int -> dst:t -> dst_pos:int -> len:int -> unit
+(** Overlap-safe copy of [len] elements, like [Array.blit]. *)
+
+val copy : t -> t
+val of_array : int array -> t
+val to_array : t -> int array
+val equal : t -> t -> bool
+
+val bytes : t -> int
+(** Resident payload size in bytes (one machine word per element). *)

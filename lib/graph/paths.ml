@@ -2,10 +2,10 @@ type profile = { reached : int; sum : int; ecc : int }
 
 module Workspace = struct
   type t = {
-    dist : int array;
-    queue : int array;
+    dist : Intvec.t;
+    queue : Intvec.t;
     mutable stamp : int;
-    stamps : int array;
+    stamps : Intvec.t;
         (* stamps.(v) = stamp marks v visited in the current BFS; bumping the
            stamp resets the whole workspace in O(1). *)
   }
@@ -13,19 +13,20 @@ module Workspace = struct
   let create max_n =
     if max_n < 0 then invalid_arg "Paths.Workspace.create";
     {
-      dist = Array.make (max 1 max_n) 0;
-      queue = Array.make (max 1 max_n) 0;
+      dist = Intvec.make (max 1 max_n) 0;
+      queue = Intvec.make (max 1 max_n) 0;
       stamp = 0;
-      stamps = Array.make (max 1 max_n) 0;
+      stamps = Intvec.make (max 1 max_n) 0;
     }
 
   (* Every BFS below iterates the graph's CSR directly: row [u] is the
      slice [off.(u) .. off.(u+1) - 1] of [tg].  No list cells, no closure,
-     no allocation inside the visit loop. *)
+     no allocation inside the visit loop.  The unsafe reads are bounded by
+     the offsets invariant (off.(n) <= dim tg) and by [tail <= n]. *)
 
   let profile_within ws g source keep =
     let n = Graph.n g in
-    if n > Array.length ws.dist then
+    if n > Intvec.dim ws.dist then
       invalid_arg "Paths.Workspace: graph larger than workspace";
     if source < 0 || source >= n then invalid_arg "Paths.profile: source";
     if not (keep source) then
@@ -34,23 +35,23 @@ module Workspace = struct
     let off = Csr.offsets csr and tg = Csr.targets csr in
     ws.stamp <- ws.stamp + 1;
     let stamp = ws.stamp in
-    ws.stamps.(source) <- stamp;
-    ws.dist.(source) <- 0;
-    ws.queue.(0) <- source;
+    Intvec.set ws.stamps source stamp;
+    Intvec.set ws.dist source 0;
+    Intvec.set ws.queue 0 source;
     let head = ref 0 and tail = ref 1 in
     let sum = ref 0 and ecc = ref 0 in
     while !head < !tail do
-      let u = ws.queue.(!head) in
+      let u = Intvec.unsafe_get ws.queue !head in
       incr head;
-      let du = ws.dist.(u) in
-      for i = off.(u) to off.(u + 1) - 1 do
-        let v = tg.(i) in
-        if ws.stamps.(v) <> stamp && keep v then begin
-          ws.stamps.(v) <- stamp;
-          ws.dist.(v) <- du + 1;
+      let du = Intvec.unsafe_get ws.dist u in
+      for i = Intvec.unsafe_get off u to Intvec.unsafe_get off (u + 1) - 1 do
+        let v = Intvec.unsafe_get tg i in
+        if Intvec.unsafe_get ws.stamps v <> stamp && keep v then begin
+          Intvec.unsafe_set ws.stamps v stamp;
+          Intvec.unsafe_set ws.dist v (du + 1);
           sum := !sum + du + 1;
           if du + 1 > !ecc then ecc := du + 1;
-          ws.queue.(!tail) <- v;
+          Intvec.unsafe_set ws.queue !tail v;
           incr tail
         end
       done
@@ -67,7 +68,7 @@ module Workspace = struct
      and the search can stop without an answer. *)
   let profile_bounded ws g source bound =
     let n = Graph.n g in
-    if n > Array.length ws.dist then
+    if n > Intvec.dim ws.dist then
       invalid_arg "Paths.Workspace: graph larger than workspace";
     if source < 0 || source >= n then
       invalid_arg "Paths.profile_bounded: source";
@@ -75,9 +76,9 @@ module Workspace = struct
     let off = Csr.offsets csr and tg = Csr.targets csr in
     ws.stamp <- ws.stamp + 1;
     let stamp = ws.stamp in
-    ws.stamps.(source) <- stamp;
-    ws.dist.(source) <- 0;
-    ws.queue.(0) <- source;
+    Intvec.set ws.stamps source stamp;
+    Intvec.set ws.dist source 0;
+    Intvec.set ws.queue 0 source;
     let head = ref 0 and tail = ref 1 in
     let sum = ref 0 and ecc = ref 0 in
     let exceeded = ref false in
@@ -85,61 +86,73 @@ module Workspace = struct
     | Sum_at_most c -> if c < 0 then exceeded := true
     | Ecc_at_most c -> if c < 0 then exceeded := true);
     while (not !exceeded) && !head < !tail do
-      let u = ws.queue.(!head) in
+      let u = Intvec.unsafe_get ws.queue !head in
       incr head;
-      let du = ws.dist.(u) in
-      let i = ref off.(u) in
-      let row_end = off.(u + 1) in
+      let du = Intvec.unsafe_get ws.dist u in
+      let i = ref (Intvec.unsafe_get off u) in
+      let row_end = Intvec.unsafe_get off (u + 1) in
       while (not !exceeded) && !i < row_end do
-        let v = tg.(!i) in
+        let v = Intvec.unsafe_get tg !i in
         incr i;
-        if ws.stamps.(v) <> stamp then begin
-          ws.stamps.(v) <- stamp;
-          ws.dist.(v) <- du + 1;
+        if Intvec.unsafe_get ws.stamps v <> stamp then begin
+          Intvec.unsafe_set ws.stamps v stamp;
+          Intvec.unsafe_set ws.dist v (du + 1);
           sum := !sum + du + 1;
           if du + 1 > !ecc then ecc := du + 1;
           (match bound with
           | Sum_at_most c -> if !sum > c then exceeded := true
           | Ecc_at_most c -> if du + 1 > c then exceeded := true);
-          ws.queue.(!tail) <- v;
+          Intvec.unsafe_set ws.queue !tail v;
           incr tail
         end
       done
     done;
     if !exceeded then None else Some { reached = !tail; sum = !sum; ecc = !ecc }
 
-  let distances ws g source =
+  (* Fill [dst] (length >= n) with distances from [source]; -1 marks
+     unreachable.  This is the allocation-free kernel behind both the
+     [int array] wrapper below and the distance cache's table fills. *)
+  let distances_into ws g source (dst : Intvec.t) =
     let n = Graph.n g in
-    if n > Array.length ws.dist then
+    if n > Intvec.dim ws.dist then
       invalid_arg "Paths.Workspace: graph larger than workspace";
+    if n > Intvec.dim dst then
+      invalid_arg "Paths.Workspace.distances_into: destination too small";
     if source < 0 || source >= n then
       invalid_arg "Paths.Workspace.distances: source";
     let csr = Graph.csr g in
     let off = Csr.offsets csr and tg = Csr.targets csr in
-    let dist = Array.make n (-1) in
-    dist.(source) <- 0;
-    ws.queue.(0) <- source;
+    for v = 0 to n - 1 do
+      Intvec.unsafe_set dst v (-1)
+    done;
+    Intvec.set dst source 0;
+    Intvec.set ws.queue 0 source;
     let head = ref 0 and tail = ref 1 in
     while !head < !tail do
-      let u = ws.queue.(!head) in
+      let u = Intvec.unsafe_get ws.queue !head in
       incr head;
-      let du = dist.(u) in
-      for i = off.(u) to off.(u + 1) - 1 do
-        let v = tg.(i) in
-        if dist.(v) < 0 then begin
-          dist.(v) <- du + 1;
-          ws.queue.(!tail) <- v;
+      let du = Intvec.unsafe_get dst u in
+      for i = Intvec.unsafe_get off u to Intvec.unsafe_get off (u + 1) - 1 do
+        let v = Intvec.unsafe_get tg i in
+        if Intvec.unsafe_get dst v < 0 then begin
+          Intvec.unsafe_set dst v (du + 1);
+          Intvec.unsafe_set ws.queue !tail v;
           incr tail
         end
       done
-    done;
-    dist
+    done
+
+  let distances ws g source =
+    let n = Graph.n g in
+    let vec = Intvec.create (max 1 n) in
+    distances_into ws g source vec;
+    Array.init n (fun v -> Intvec.get vec v)
 
   (* Point query without the result-array allocation of [distances]:
      stamped BFS with early exit once [target] is dequeued. *)
   let distance ws g source target =
     let n = Graph.n g in
-    if n > Array.length ws.dist then
+    if n > Intvec.dim ws.dist then
       invalid_arg "Paths.Workspace: graph larger than workspace";
     if source < 0 || source >= n || target < 0 || target >= n then
       invalid_arg "Paths.Workspace.distance: vertex";
@@ -147,22 +160,22 @@ module Workspace = struct
     let off = Csr.offsets csr and tg = Csr.targets csr in
     ws.stamp <- ws.stamp + 1;
     let stamp = ws.stamp in
-    ws.stamps.(source) <- stamp;
-    ws.dist.(source) <- 0;
-    ws.queue.(0) <- source;
+    Intvec.set ws.stamps source stamp;
+    Intvec.set ws.dist source 0;
+    Intvec.set ws.queue 0 source;
     let head = ref 0 and tail = ref 1 in
     let found = ref (if source = target then 0 else -1) in
     while !found < 0 && !head < !tail do
-      let u = ws.queue.(!head) in
+      let u = Intvec.unsafe_get ws.queue !head in
       incr head;
-      let du = ws.dist.(u) in
-      for i = off.(u) to off.(u + 1) - 1 do
-        let v = tg.(i) in
-        if ws.stamps.(v) <> stamp then begin
-          ws.stamps.(v) <- stamp;
-          ws.dist.(v) <- du + 1;
+      let du = Intvec.unsafe_get ws.dist u in
+      for i = Intvec.unsafe_get off u to Intvec.unsafe_get off (u + 1) - 1 do
+        let v = Intvec.unsafe_get tg i in
+        if Intvec.unsafe_get ws.stamps v <> stamp then begin
+          Intvec.unsafe_set ws.stamps v stamp;
+          Intvec.unsafe_set ws.dist v (du + 1);
           if v = target then found := du + 1;
-          ws.queue.(!tail) <- v;
+          Intvec.unsafe_set ws.queue !tail v;
           incr tail
         end
       done

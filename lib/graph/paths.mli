@@ -81,6 +81,12 @@ module Workspace : sig
   (** Same result as {!val:Paths.distances}, using the workspace queue
       instead of a [Queue.t]; only the result array is allocated. *)
 
+  val distances_into : t -> Graph.t -> int -> Intvec.t -> unit
+  (** [distances_into ws g u dst] fills [dst.(v)] with [d_G(u, v)] ([-1] if
+      unreachable) for [v < Graph.n g], allocating nothing.  [dst] must have
+      at least [Graph.n g] elements.  This is the kernel the distance cache
+      uses to (re)fill resident tables without an intermediate array. *)
+
   val distance : t -> Graph.t -> int -> int -> int
   (** Same result as {!val:Paths.distance} without allocating: stamped BFS
       with early exit once the target is reached. *)

@@ -251,6 +251,7 @@ let arena_totals_json () =
       ("repaired", Json.Int t.Engine.Arena.cache.Distcache.repaired);
       ("rebuilt", Json.Int t.Engine.Arena.cache.Distcache.rebuilt);
       ("fills", Json.Int t.Engine.Arena.cache.Distcache.fills);
+      ("evicted", Json.Int t.Engine.Arena.cache.Distcache.evicted);
     ]
 
 let worker_main ~slot ~lease_dir ~heartbeat_interval () =
@@ -799,7 +800,10 @@ let health_json t =
     Json.Obj
       (List.map
          (fun name -> (name, Json.Int (sum name)))
-         [ "arenas"; "batched_trials"; "kept"; "repaired"; "rebuilt"; "fills" ])
+         [
+           "arenas"; "batched_trials"; "kept"; "repaired"; "rebuilt"; "fills";
+           "evicted";
+         ])
   in
   let reply =
     Json.Obj

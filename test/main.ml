@@ -17,6 +17,7 @@ let () =
       Suite_core.suite;
       Suite_differential.suite;
       Suite_incremental.suite;
+      Suite_sublinear.suite;
       Suite_sentinel.suite;
       Suite_envelope.suite;
       Suite_parallel.suite;

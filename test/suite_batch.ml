@@ -331,6 +331,7 @@ let test_arena_reuse_and_accounting () =
               repaired = !cache_sum.Distcache.repaired + r.Engine.cache.Distcache.repaired;
               rebuilt = !cache_sum.Distcache.rebuilt + r.Engine.cache.Distcache.rebuilt;
               fills = !cache_sum.Distcache.fills + r.Engine.cache.Distcache.fills;
+              evicted = !cache_sum.Distcache.evicted + r.Engine.cache.Distcache.evicted;
             }
       | Error (exn, _) ->
           Alcotest.failf "streamed trial %d raised %s" i

@@ -448,7 +448,8 @@ let fake_curves () =
       [ { Engine.reason = Engine.Converged; steps; history = [];
           final = Ncg_graph.Gen.path 2;
           sentinel = Sentinel.clean_report;
-          cache = Ncg_game.Distcache.zero_stats } ]
+          cache = Ncg_game.Distcache.zero_stats;
+          residency = Ncg_game.Distcache.zero_residency } ]
   in
   [ { Series.label = "a";
       points =

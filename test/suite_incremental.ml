@@ -21,7 +21,7 @@ let tables_exact cache g =
   for v = 0 to Graph.n g - 1 do
     match Distcache.get cache v with
     | None -> ok := false
-    | Some d -> if d <> Paths.distances g v then ok := false
+    | Some d -> if Intvec.to_array d <> Paths.distances g v then ok := false
   done;
   !ok
 
@@ -44,6 +44,7 @@ let delta cache f =
       repaired = after.repaired - before.repaired;
       rebuilt = after.rebuilt - before.rebuilt;
       fills = after.fills - before.fills;
+      evicted = after.evicted - before.evicted;
     }
 
 (* ------------------------------------------------------------------ *)
@@ -79,7 +80,7 @@ let test_insert_repair_decreases () =
   (* the distance from 0 to the far end is now 1, and midpoints halve *)
   match Distcache.get cache 0 with
   | None -> Alcotest.fail "table evicted"
-  | Some t -> check_int "far end now adjacent" 1 t.(n - 1)
+  | Some t -> check_int "far end now adjacent" 1 (Intvec.get t (n - 1))
 
 let test_insert_unreachable_keep () =
   (* Adding an edge inside a component unreachable from the source can
@@ -156,8 +157,8 @@ let test_delete_disconnects () =
   match Distcache.get cache 0 with
   | None -> Alcotest.fail "table evicted"
   | Some t ->
-      check_int "far side unreachable" (-1) t.(5);
-      check_int "near side intact" 2 t.(2)
+      check_int "far side unreachable" (-1) (Intvec.get t 5);
+      check_int "near side intact" 2 (Intvec.get t 2)
 
 let test_delete_rebuild_fallback () =
   (* threshold 0: every non-kept deletion overflows the affected-set bound
@@ -180,7 +181,9 @@ let test_lazy_tables_stay_lazy () =
   Distcache.set cache 0 (Paths.distances g 0);
   add cache g 0 4;
   check "filled table exact" true
-    (Distcache.get cache 0 = Some (Paths.distances g 0));
+    (match Distcache.get cache 0 with
+    | Some d -> Intvec.to_array d = Paths.distances g 0
+    | None -> false);
   check "unfilled tables untouched" true (Distcache.get cache 3 = None)
 
 let test_versions_move_with_patches () =
